@@ -1,0 +1,28 @@
+//! Figure 3 — CPU TEE (SGX) slowdown on the Adam workload vs. threads.
+
+use criterion::black_box;
+use tee_bench::{banner, criterion_quick};
+use tee_cpu::{CpuEngine, TeeMode};
+use tensortee::experiments::{bench_adam_workload, fig03_cpu_slowdown};
+use tensortee::SystemConfig;
+use tee_workloads::zoo::TABLE2;
+
+fn main() {
+    let cfg = SystemConfig::default();
+    banner(
+        "Figure 3 — CPU TEE slowdown vs. thread count",
+        "up to 3.7x SGX slowdown; workload turns memory-bound as threads grow",
+    );
+    let (_, md) = fig03_cpu_slowdown(&cfg, &[1, 2, 4, 8]);
+    eprintln!("{md}");
+
+    let workload = bench_adam_workload(&TABLE2[1], cfg.sim_scale);
+    let mut c = criterion_quick();
+    c.bench_function("fig03/sgx_adam_8t_iteration", |b| {
+        b.iter(|| {
+            let mut e = CpuEngine::new(cfg.cpu.clone(), TeeMode::Sgx);
+            black_box(e.run_adam(&workload, 8, 1).total)
+        })
+    });
+    c.final_summary();
+}

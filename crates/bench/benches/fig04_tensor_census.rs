@@ -1,0 +1,26 @@
+//! Figure 4 — access characteristics: tensor numbers and sizes.
+
+use criterion::black_box;
+use tee_bench::{banner, criterion_quick};
+use tee_workloads::census::TensorCensus;
+use tee_workloads::zoo::TABLE2;
+use tensortee::experiments::fig04_tensor_census;
+
+fn main() {
+    banner(
+        "Figure 4 — Tensor census",
+        "tensor sizes grow to MBytes; tensor counts stay at a few hundred",
+    );
+    eprintln!("{}", fig04_tensor_census());
+
+    let mut c = criterion_quick();
+    c.bench_function("fig04/census_all_models", |b| {
+        b.iter(|| {
+            for m in TABLE2 {
+                let census = TensorCensus::of(&m);
+                black_box((census.count(), census.max_bytes()));
+            }
+        })
+    });
+    c.final_summary();
+}

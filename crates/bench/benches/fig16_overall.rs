@@ -1,0 +1,26 @@
+//! Figure 16 — overall performance across the Table-2 zoo.
+
+use criterion::black_box;
+use tee_bench::{banner, criterion_quick};
+use tensortee::experiments::fig16_overall;
+use tensortee::{SecureMode, SystemConfig, TrainingSystem};
+use tee_workloads::zoo::TABLE2;
+
+fn main() {
+    let cfg = SystemConfig::default();
+    banner(
+        "Figure 16 — overall performance (latency/batch + speedup)",
+        "TensorTEE 2.1–5.5x over SGX+MGX (avg 4.0x); 2.1% over non-secure",
+    );
+    let (_, md) = fig16_overall(&cfg, &TABLE2);
+    eprintln!("{md}");
+
+    let mut c = criterion_quick();
+    c.bench_function("fig16/tensortee_step_gpt2m", |b| {
+        b.iter(|| {
+            let mut sys = TrainingSystem::new(cfg.clone(), SecureMode::TensorTee);
+            black_box(sys.simulate_step(&TABLE2[1]).total())
+        })
+    });
+    c.final_summary();
+}

@@ -1,0 +1,27 @@
+//! Figure 17 — per-model phase breakdown under the three configurations.
+
+use criterion::black_box;
+use tee_bench::{banner, criterion_quick};
+use tensortee::experiments::fig17_breakdown;
+use tensortee::{SecureMode, SystemConfig, TrainingSystem};
+use tee_workloads::zoo::TABLE2;
+
+fn main() {
+    let cfg = SystemConfig::default();
+    banner(
+        "Figure 17 — bottleneck analysis (per-model breakdown)",
+        "TensorTEE eliminates CPU metadata overhead and exposed transfer time",
+    );
+    eprintln!("{}", fig17_breakdown(&cfg, &TABLE2));
+
+    let mut c = criterion_quick();
+    c.bench_function("fig17/breakdown_three_modes_gpt", |b| {
+        b.iter(|| {
+            for mode in SecureMode::all() {
+                let mut sys = TrainingSystem::new(cfg.clone(), mode);
+                black_box(sys.simulate_step(&TABLE2[0]).fractions());
+            }
+        })
+    });
+    c.final_summary();
+}

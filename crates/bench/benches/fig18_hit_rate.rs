@@ -1,0 +1,32 @@
+//! Figure 18 — Meta Table hit rate vs. iteration (cold detection).
+
+use criterion::black_box;
+use tee_bench::{banner, criterion_quick};
+use tee_cpu::analyzer::TenAnalyzerConfig;
+use tee_cpu::{CpuEngine, TeeMode};
+use tensortee::experiments::{bench_adam_workload, fig18_hit_rate};
+use tensortee::SystemConfig;
+use tee_workloads::zoo::TABLE2;
+
+fn main() {
+    let cfg = SystemConfig::default();
+    banner(
+        "Figure 18 — Meta Table hit rate vs. iteration",
+        "hit_all high after 1 iteration; hit_in 80% by iter 5, 95% by iter 20",
+    );
+    let (_, md) = fig18_hit_rate(&cfg, 20);
+    eprintln!("{md}");
+
+    let workload = bench_adam_workload(&TABLE2[1], cfg.sim_scale);
+    let mut c = criterion_quick();
+    c.bench_function("fig18/tensortee_cold_iteration", |b| {
+        b.iter(|| {
+            let mut e = CpuEngine::new(
+                cfg.cpu.clone(),
+                TeeMode::TensorTee(TenAnalyzerConfig::default()),
+            );
+            black_box(e.run_adam(&workload, 8, 1).total)
+        })
+    });
+    c.final_summary();
+}

@@ -1,0 +1,29 @@
+//! Figure 19 — CPU performance: SGX vs. SoftVN vs. TensorTEE over
+//! iterations, at 4 and 8 threads.
+
+use criterion::black_box;
+use tee_bench::{banner, criterion_quick};
+use tee_cpu::{CpuEngine, SoftVnConfig, TeeMode};
+use tensortee::experiments::{bench_adam_workload, fig19_cpu_perf};
+use tensortee::SystemConfig;
+use tee_workloads::zoo::TABLE2;
+
+fn main() {
+    let cfg = SystemConfig::default();
+    banner(
+        "Figure 19 — CPU performance comparison",
+        "SGX 3.65x @8T; TensorTEE converges to SoftVN-comparable within ~10 iterations",
+    );
+    let (_, md) = fig19_cpu_perf(&cfg, &[4, 8], &[1, 2, 5, 10, 20, 30, 40]);
+    eprintln!("{md}");
+
+    let workload = bench_adam_workload(&TABLE2[1], cfg.sim_scale);
+    let mut c = criterion_quick();
+    c.bench_function("fig19/softvn_adam_8t_iteration", |b| {
+        b.iter(|| {
+            let mut e = CpuEngine::new(cfg.cpu.clone(), TeeMode::SoftVn(SoftVnConfig::default()));
+            black_box(e.run_adam(&workload, 8, 1).total)
+        })
+    });
+    c.final_summary();
+}

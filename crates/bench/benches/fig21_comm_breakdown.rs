@@ -1,0 +1,29 @@
+//! Figure 21 — gradient-transfer breakdown and improvement.
+
+use criterion::black_box;
+use tee_bench::{banner, criterion_quick};
+use tee_comm::protocol::StagingProtocol;
+use tee_sim::Time;
+use tensortee::experiments::fig21_comm_breakdown;
+use tensortee::SystemConfig;
+use tee_workloads::zoo::TABLE2;
+
+fn main() {
+    let cfg = SystemConfig::default();
+    banner(
+        "Figure 21 — gradient-transfer breakdown",
+        "re-encryption/decryption eliminated; 18.7x communication improvement",
+    );
+    let (_, md) = fig21_comm_breakdown(&cfg, &TABLE2);
+    eprintln!("{md}");
+
+    let grad = TABLE2[1].grad_bytes();
+    let mut c = criterion_quick();
+    c.bench_function("fig21/staged_gradient_transfer", |b| {
+        b.iter(|| {
+            let mut p = StagingProtocol::new();
+            black_box(p.transfer(Time::ZERO, grad).total())
+        })
+    });
+    c.final_summary();
+}

@@ -1,0 +1,20 @@
+//! §6.5 — hardware overhead of the TenAnalyzer structures.
+
+use criterion::black_box;
+use tee_bench::{banner, criterion_quick};
+use tensortee::HardwareBudget;
+
+fn main() {
+    banner(
+        "§6.5 — hardware overhead",
+        "512-entry Meta Table + filter + bitmap cache + poison bits = 24 KB, 0.0072 mm² @ 7 nm",
+    );
+    let hw = HardwareBudget::default();
+    eprintln!("{}\n", hw.markdown());
+
+    let mut c = criterion_quick();
+    c.bench_function("sec65/budget_arithmetic", |b| {
+        b.iter(|| black_box(HardwareBudget::default().total_bytes()))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,33 @@
+//! # tee-bench
+//!
+//! Criterion benchmark harness. Each bench in `benches/` regenerates one
+//! table or figure of the paper (see DESIGN.md for the experiment index):
+//! it prints the paper-formatted artifact once, then Criterion-times the
+//! underlying simulation kernel.
+
+use criterion::Criterion;
+
+/// A short Criterion configuration suitable for simulation kernels
+/// (each sample is itself thousands of simulated events).
+pub fn criterion_quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+/// Prints the experiment banner with the paper reference.
+pub fn banner(id: &str, paper_claim: &str) {
+    eprintln!("\n================================================================");
+    eprintln!("{id}");
+    eprintln!("paper reference: {paper_claim}");
+    eprintln!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_config_builds() {
+        let _ = super::criterion_quick();
+    }
+}

@@ -1,0 +1,26 @@
+//! # tee-comm
+//!
+//! CPU↔NPU interconnect models and the two heterogeneous-TEE data-transfer
+//! protocols the paper compares (§3.3, §4.4):
+//!
+//! * [`link`] — PCIe 4.0 ×16 link and the per-channel AES engine whose
+//!   8 GB/s bound serializes communication against computation in the
+//!   baseline (Figure 7),
+//! * [`protocol`] — the Graviton-like staging protocol
+//!   (decrypt → non-secure relay → re-encrypt) and TensorTEE's direct
+//!   transfer (trusted metadata channel + direct ciphertext channel),
+//! * [`channel`] — functional secure channels: metadata packets are
+//!   MAC'd under the shared session key; ciphertext crosses the bus
+//!   unmodified and snoopable-but-useless,
+//! * [`schedule`] — the compute/transfer overlap scheduler behind
+//!   Figures 7 and 15.
+
+pub mod channel;
+pub mod link;
+pub mod protocol;
+pub mod schedule;
+
+pub use channel::{ChannelError, DirectChannel, TransferMeta, TrustedChannel};
+pub use link::{AesEngine, PcieLink};
+pub use protocol::{DirectProtocol, StagingProtocol, TransferBreakdown};
+pub use schedule::{overlapped_time, serialized_time, Timeline};

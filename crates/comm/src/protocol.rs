@@ -1,0 +1,195 @@
+//! Timing models of the two transfer protocols (§3.3, §4.4, Figures 6 & 21).
+
+use crate::link::{AesEngine, PcieLink};
+use serde::{Deserialize, Serialize};
+use tee_sim::Time;
+
+/// Per-phase breakdown of one transfer (Figure 21's stacked bars).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferBreakdown {
+    /// Sender-side re-encryption into the non-secure staging region
+    /// (decrypt with the enclave key + encrypt with the transit key).
+    pub re_encryption: Time,
+    /// Bus time.
+    pub comm: Time,
+    /// Receiver-side decryption + re-encryption into its enclave.
+    pub decryption: Time,
+}
+
+impl TransferBreakdown {
+    /// Total serialized duration.
+    pub fn total(&self) -> Time {
+        self.re_encryption + self.comm + self.decryption
+    }
+}
+
+/// The Graviton-like staging protocol (Figure 6a): secure → non-secure →
+/// bus → non-secure → secure, with cryptographic conversion at each edge.
+#[derive(Debug)]
+pub struct StagingProtocol {
+    sender_aes: AesEngine,
+    receiver_aes: AesEngine,
+    link: PcieLink,
+}
+
+impl StagingProtocol {
+    /// Builds the protocol with single AES engines per side (§3.3) and a
+    /// Gen4 ×16 link.
+    pub fn new() -> Self {
+        StagingProtocol {
+            sender_aes: AesEngine::single(),
+            receiver_aes: AesEngine::single(),
+            link: PcieLink::gen4_x16(),
+        }
+    }
+
+    /// Builds with custom AES bandwidth (ablation: more engines).
+    pub fn with_aes_bandwidth(bytes_per_sec: f64) -> Self {
+        StagingProtocol {
+            sender_aes: AesEngine::new(bytes_per_sec),
+            receiver_aes: AesEngine::new(bytes_per_sec),
+            link: PcieLink::gen4_x16(),
+        }
+    }
+
+    /// Transfers `bytes` starting at `at`; phases are serialized
+    /// (decrypt+re-encrypt must finish before DMA of the staged copy, and
+    /// the receiver converts after arrival).
+    pub fn transfer(&mut self, at: Time, bytes: u64) -> TransferBreakdown {
+        // Sender: decrypt (enclave key) + encrypt (transit key) — two AES
+        // passes through one engine.
+        let dec = self.sender_aes.process(at, bytes);
+        let reenc_done = self.sender_aes.process(dec, bytes);
+        let re_encryption = reenc_done - at;
+        // Bus.
+        let comm_done = self.link.transfer(reenc_done, bytes);
+        let comm = comm_done - reenc_done;
+        // Receiver: decrypt transit + re-encrypt into enclave.
+        let rdec = self.receiver_aes.process(comm_done, bytes);
+        let renc = self.receiver_aes.process(rdec, bytes);
+        TransferBreakdown {
+            re_encryption,
+            comm,
+            decryption: renc - comm_done,
+        }
+    }
+
+    /// Whether this protocol's transfer can overlap NPU computation: it
+    /// cannot — re-encryption contends for the AES engine and DRAM
+    /// bandwidth that computation needs (§3.3, Figure 7).
+    pub fn can_overlap_compute(&self) -> bool {
+        false
+    }
+}
+
+impl Default for StagingProtocol {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// TensorTEE's direct protocol (Figure 6b): unified tensor granularity
+/// and a shared session key make the ciphertext valid on both sides, so
+/// the transfer is a DMA plus one small trusted-channel packet.
+#[derive(Debug)]
+pub struct DirectProtocol {
+    link: PcieLink,
+    trusted_link: PcieLink,
+}
+
+/// Bytes of one trusted-channel metadata packet (sealed `(addr, VN, MAC)`
+/// plus tag and header).
+pub const META_PACKET_BYTES: u64 = 64;
+
+impl DirectProtocol {
+    /// Builds the protocol on a Gen4 ×16 link; metadata shares the link but
+    /// is negligible.
+    pub fn new() -> Self {
+        DirectProtocol {
+            link: PcieLink::gen4_x16(),
+            trusted_link: PcieLink::gen4_x16(),
+        }
+    }
+
+    /// Transfers `bytes` starting at `at`. The metadata packet and the
+    /// ciphertext DMA proceed in parallel (§4.4.2), synchronizing at the
+    /// end.
+    pub fn transfer(&mut self, at: Time, bytes: u64) -> TransferBreakdown {
+        let meta_done = self.trusted_link.transfer(at, META_PACKET_BYTES);
+        let data_done = self.link.transfer(at, bytes);
+        TransferBreakdown {
+            re_encryption: Time::ZERO,
+            comm: data_done.max(meta_done) - at,
+            decryption: Time::ZERO,
+        }
+    }
+
+    /// Direct transfers touch neither AES engines nor the SoC memory path,
+    /// so they overlap computation (Figure 15).
+    pub fn can_overlap_compute(&self) -> bool {
+        true
+    }
+}
+
+impl Default for DirectProtocol {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staging_dominated_by_crypto() {
+        let mut p = StagingProtocol::new();
+        let b = p.transfer(Time::ZERO, 256 << 20);
+        assert!(b.re_encryption > b.comm, "8 GB/s AES slower than PCIe");
+        assert!(b.decryption > b.comm);
+    }
+
+    #[test]
+    fn direct_is_comm_only() {
+        let mut p = DirectProtocol::new();
+        let b = p.transfer(Time::ZERO, 256 << 20);
+        assert_eq!(b.re_encryption, Time::ZERO);
+        assert_eq!(b.decryption, Time::ZERO);
+        assert!(b.comm > Time::ZERO);
+    }
+
+    #[test]
+    fn direct_much_faster_serialized() {
+        let bytes = 512 << 20;
+        let staging = StagingProtocol::new().transfer(Time::ZERO, bytes);
+        let direct = DirectProtocol::new().transfer(Time::ZERO, bytes);
+        let speedup = staging.total().as_secs_f64() / direct.total().as_secs_f64();
+        assert!(
+            speedup > 5.0,
+            "even before overlap, direct should win big: {speedup:.1}x"
+        );
+    }
+
+    #[test]
+    fn metadata_packet_negligible() {
+        let mut p = DirectProtocol::new();
+        let big = p.transfer(Time::ZERO, 64 << 20);
+        // Metadata is hidden behind the data DMA.
+        let solo_data = PcieLink::gen4_x16().transfer(Time::ZERO, 64 << 20);
+        assert_eq!(big.comm, solo_data);
+    }
+
+    #[test]
+    fn more_aes_engines_help_staging() {
+        let bytes = 128 << 20;
+        let one = StagingProtocol::new().transfer(Time::ZERO, bytes);
+        let many = StagingProtocol::with_aes_bandwidth(64.0e9).transfer(Time::ZERO, bytes);
+        assert!(many.total() < one.total());
+    }
+
+    #[test]
+    fn overlap_capability_flags() {
+        assert!(!StagingProtocol::new().can_overlap_compute());
+        assert!(DirectProtocol::new().can_overlap_compute());
+    }
+}

@@ -1,0 +1,143 @@
+//! End-to-end system configuration (Table 1) and security modes.
+
+use serde::Serialize;
+use tee_cpu::CpuConfig;
+use tee_npu::NpuConfig;
+
+/// The three configurations compared throughout §6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SecureMode {
+    /// No protection anywhere (performance reference).
+    NonSecure,
+    /// CPU with SGX-like cacheline TEE + NPU with MGX-like tensor-VN /
+    /// coarse-MAC TEE; staged (re-encrypting) communication.
+    SgxMgx,
+    /// TensorTEE: unified tensor granularity on both sides + direct
+    /// transfer.
+    TensorTee,
+}
+
+impl SecureMode {
+    /// Display label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SecureMode::NonSecure => "Non-Secure",
+            SecureMode::SgxMgx => "SGX+MGX",
+            SecureMode::TensorTee => "TensorTEE",
+        }
+    }
+
+    /// All three, in the paper's presentation order.
+    pub fn all() -> [SecureMode; 3] {
+        [
+            SecureMode::NonSecure,
+            SecureMode::SgxMgx,
+            SecureMode::TensorTee,
+        ]
+    }
+}
+
+/// The full-system configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct SystemConfig {
+    /// CPU socket (Table 1 upper half).
+    pub cpu: CpuConfig,
+    /// NPU (Table 1 lower half).
+    pub npu: NpuConfig,
+    /// CPU worker threads used for the optimizer.
+    pub cpu_threads: u32,
+    /// Linear down-scale applied to workloads before the cacheline-level
+    /// CPU simulation (bandwidth-bound phases scale linearly; see
+    /// DESIGN.md "Fidelity & calibration notes").
+    pub sim_scale: u64,
+    /// Adam iterations simulated per measurement (steady state taken from
+    /// the last iteration).
+    pub cpu_iterations: u32,
+}
+
+impl Default for SystemConfig {
+    /// Table-1 configuration at a simulation scale suitable for benches.
+    fn default() -> Self {
+        SystemConfig {
+            cpu: CpuConfig::scaled_down(),
+            npu: NpuConfig::default(),
+            cpu_threads: 8,
+            sim_scale: 16_384,
+            cpu_iterations: 3,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// A configuration for quick unit tests (coarser scale, fewer
+    /// iterations).
+    pub fn fast_sim() -> Self {
+        SystemConfig {
+            sim_scale: 131_072,
+            cpu_iterations: 2,
+            ..Self::default()
+        }
+    }
+
+    /// Renders Table 1 as markdown (printed by the bench headers).
+    pub fn table1_markdown(&self) -> String {
+        let cpu = &self.cpu;
+        let npu = &self.npu;
+        format!(
+            "| Component | Configuration |\n|---|---|\n\
+             | CPU frequency | {:.1} GHz |\n\
+             | CPU cores | {} out-of-order |\n\
+             | L1 I/D | {} |\n\
+             | L2 | {} |\n\
+             | L3 | {} |\n\
+             | CPU DRAM | DDR4-2400, {} channels |\n\
+             | Metadata cache | {} |\n\
+             | AES / MAC latency | {} / {} cycles |\n\
+             | NPU frequency | {:.1} GHz |\n\
+             | PE array | {pe}x{pe} |\n\
+             | Scratchpad | {} |\n\
+             | NPU DRAM | GDDR5, {}, {} |\n\
+             | Comm bus | PCIe 4.0 x16 |",
+            cpu.freq_ghz,
+            cpu.hierarchy.cores,
+            tee_sim::util::fmt_bytes(cpu.hierarchy.l1.size_bytes),
+            tee_sim::util::fmt_bytes(cpu.hierarchy.l2.size_bytes),
+            tee_sim::util::fmt_bytes(cpu.hierarchy.l3.size_bytes),
+            cpu.dram.channels,
+            tee_sim::util::fmt_bytes(cpu.metadata_cache_bytes),
+            cpu.aes_latency,
+            cpu.mac_latency,
+            npu.freq_ghz,
+            tee_sim::util::fmt_bytes(npu.scratchpad_bytes),
+            tee_sim::util::fmt_bytes(npu.dram_bytes),
+            tee_sim::util::fmt_bandwidth(npu.dram_bandwidth()),
+            pe = npu.pe_dim,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modes_have_labels() {
+        assert_eq!(SecureMode::all().len(), 3);
+        assert_eq!(SecureMode::TensorTee.label(), "TensorTEE");
+    }
+
+    #[test]
+    fn default_config_sane() {
+        let c = SystemConfig::default();
+        assert_eq!(c.cpu_threads, 8);
+        assert!(c.sim_scale > 0);
+    }
+
+    #[test]
+    fn table1_mentions_key_parts() {
+        let md = SystemConfig::default().table1_markdown();
+        assert!(md.contains("PCIe 4.0"));
+        assert!(md.contains("GDDR5"));
+        assert!(md.contains("3.5 GHz"));
+    }
+}

@@ -1,0 +1,32 @@
+//! # tensortee
+//!
+//! The top-level TensorTEE system model: composes the CPU engine
+//! (`tee-cpu`), the NPU engine (`tee-npu`) and the interconnect protocols
+//! (`tee-comm`) into end-to-end ZeRO-Offload training steps, and provides
+//! the experiment runners that regenerate every table and figure of the
+//! paper (see `DESIGN.md` for the experiment index).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tensortee::{SecureMode, SystemConfig, TrainingSystem};
+//! use tee_workloads::zoo::by_name;
+//!
+//! let cfg = SystemConfig::fast_sim();
+//! let model = by_name("GPT").expect("Table-2 model");
+//! let mut sys = TrainingSystem::new(cfg, SecureMode::TensorTee);
+//! let step = sys.simulate_step(&model);
+//! assert!(step.total() > tee_sim::Time::ZERO);
+//! ```
+
+pub mod config;
+pub mod experiments;
+pub mod hw;
+pub mod report;
+pub mod session;
+pub mod system;
+
+pub use config::{SecureMode, SystemConfig};
+pub use hw::HardwareBudget;
+pub use session::SecureSession;
+pub use system::{StepBreakdown, TrainingSystem};

@@ -1,0 +1,1009 @@
+//! The Meta Table: on-chip tensor-granularity VN/MAC storage (§4.2).
+//!
+//! Each entry holds shared metadata for every cacheline of one detected
+//! tensor: address range + stride, the tensor VN, the tensor MAC, and the
+//! write-protocol state (Updating Flag, Bit State, update bitmap). Reads
+//! that *hit in* an entry get their VN with zero off-chip traffic; reads
+//! that hit the *boundary* (`addr == last + stride`) extend the entry after
+//! a background VN confirmation — the "gradual coverage" mechanism of
+//! Figure 10. Writes follow the Figure-12 protocol: every line must flip
+//! its bitmap bit exactly once between the start and finish edges, at which
+//! point the tensor VN increments atomically.
+
+use crate::tensor::TensorDesc;
+use std::collections::HashSet;
+use tee_crypto::MacTag;
+use tee_mem::LINE_BYTES;
+use tee_sim::StatSet;
+
+/// Geometry of one detected tensor region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// A strided 1-D run of lines: `base + k*stride` for `k < lines`.
+    OneD {
+        /// Covered line count.
+        lines: u64,
+        /// Byte stride between consecutive lines (64 for dense tensors).
+        stride: u64,
+    },
+    /// A tiled 2-D region assembled by entry merging: `rows` rows of
+    /// `row_lines` dense lines, spaced `pitch` bytes apart.
+    TwoD {
+        /// Dense lines per row.
+        row_lines: u64,
+        /// Byte distance between row starts.
+        pitch: u64,
+        /// Number of rows.
+        rows: u64,
+    },
+}
+
+/// One Meta Table entry.
+#[derive(Debug, Clone)]
+pub struct MetaEntry {
+    /// Base (line-aligned) virtual address.
+    pub base: u64,
+    /// Region geometry.
+    pub shape: Shape,
+    /// The tensor version number.
+    pub vn: u64,
+    /// Tensor MAC accumulator (used by the transfer protocol).
+    pub mac: MacTag,
+    /// Updating Flag: a tensor update round is in progress.
+    updating: bool,
+    /// Lines flipped this round (bitmap bits that differ from BS).
+    flipped: HashSet<u64>,
+    lru: u64,
+}
+
+impl MetaEntry {
+    /// Creates a fresh 1-D entry.
+    pub fn new_1d(base: u64, lines: u64, stride: u64, vn: u64) -> Self {
+        assert!(lines > 0 && stride >= LINE_BYTES);
+        MetaEntry {
+            base,
+            shape: Shape::OneD { lines, stride },
+            vn,
+            mac: MacTag::default(),
+            updating: false,
+            flipped: HashSet::new(),
+            lru: 0,
+        }
+    }
+
+    /// Creates an entry covering a full tensor descriptor (used when the
+    /// NPU's transfer instruction supplies the structure, §4.2).
+    pub fn from_desc(desc: &TensorDesc, vn: u64) -> Self {
+        if desc.rows <= 1 {
+            Self::new_1d(desc.base, desc.lines(), LINE_BYTES, vn)
+        } else {
+            MetaEntry {
+                base: desc.base,
+                shape: Shape::TwoD {
+                    row_lines: desc.row_bytes.div_ceil(LINE_BYTES),
+                    pitch: desc.pitch,
+                    rows: desc.rows,
+                },
+                vn,
+                mac: MacTag::default(),
+                updating: false,
+                flipped: HashSet::new(),
+                lru: 0,
+            }
+        }
+    }
+
+    /// Total covered lines.
+    pub fn line_count(&self) -> u64 {
+        match self.shape {
+            Shape::OneD { lines, .. } => lines,
+            Shape::TwoD {
+                row_lines, rows, ..
+            } => row_lines * rows,
+        }
+    }
+
+    /// Whether a line-aligned VA falls inside the covered region.
+    pub fn contains(&self, va: u64) -> bool {
+        if va < self.base {
+            return false;
+        }
+        let off = va - self.base;
+        match self.shape {
+            Shape::OneD { lines, stride } => off.is_multiple_of(stride) && off / stride < lines,
+            Shape::TwoD {
+                row_lines,
+                pitch,
+                rows,
+            } => {
+                let row = off / pitch;
+                let col = off % pitch;
+                row < rows && col.is_multiple_of(LINE_BYTES) && col / LINE_BYTES < row_lines
+            }
+        }
+    }
+
+    /// The next address that would extend this entry, if it can grow.
+    ///
+    /// 1-D entries grow at their end. 2-D entries grow *horizontally*: the
+    /// line following row 0's coverage extends every row (tile columns are
+    /// met left-to-right); when the rows touch (`row span == pitch`) the
+    /// region is really contiguous and collapses back to 1-D.
+    pub fn frontier(&self) -> Option<u64> {
+        match self.shape {
+            Shape::OneD { lines, stride } => Some(self.base + lines * stride),
+            Shape::TwoD {
+                row_lines, pitch, ..
+            } if row_lines * LINE_BYTES < pitch => {
+                Some(self.base + row_lines * LINE_BYTES)
+            }
+            Shape::TwoD { .. } => None,
+        }
+    }
+
+    /// First covered line address.
+    pub fn first_line(&self) -> u64 {
+        self.base
+    }
+
+    /// Last covered line address.
+    pub fn last_line(&self) -> u64 {
+        match self.shape {
+            Shape::OneD { lines, stride } => self.base + (lines - 1) * stride,
+            Shape::TwoD {
+                row_lines,
+                pitch,
+                rows,
+            } => self.base + (rows - 1) * pitch + (row_lines - 1) * LINE_BYTES,
+        }
+    }
+
+    /// Ordinal of a covered line (bitmap index).
+    fn line_ordinal(&self, va: u64) -> u64 {
+        debug_assert!(self.contains(va));
+        let off = va - self.base;
+        match self.shape {
+            Shape::OneD { stride, .. } => off / stride,
+            Shape::TwoD {
+                row_lines, pitch, ..
+            } => (off / pitch) * row_lines + (off % pitch) / LINE_BYTES,
+        }
+    }
+
+    /// The VN to use when *reading* `va`: lines already flipped in the
+    /// current update round have been written back at `vn + 1`.
+    pub fn read_vn(&self, va: u64) -> u64 {
+        if self.updating && self.flipped.contains(&self.line_ordinal(va)) {
+            self.vn + 1
+        } else {
+            self.vn
+        }
+    }
+
+    /// Whether an update round is in progress.
+    pub fn is_updating(&self) -> bool {
+        self.updating
+    }
+
+    /// Iterates every covered line address.
+    pub fn covered_lines(&self) -> Box<dyn Iterator<Item = u64> + '_> {
+        match self.shape {
+            Shape::OneD { lines, stride } => {
+                Box::new((0..lines).map(move |l| self.base + l * stride))
+            }
+            Shape::TwoD {
+                row_lines,
+                pitch,
+                rows,
+            } => Box::new((0..rows).flat_map(move |r| {
+                (0..row_lines).map(move |c| self.base + r * pitch + c * LINE_BYTES)
+            })),
+        }
+    }
+}
+
+/// Outcome of a read lookup (Figure 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadLookup {
+    /// Inside an entry: VN served on-chip.
+    HitIn {
+        /// Entry slot.
+        slot: usize,
+        /// The VN for this line.
+        vn: u64,
+    },
+    /// Exactly at an entry's frontier: VN assumed, confirmation pending.
+    HitBoundary {
+        /// Entry slot (pass back to [`MetaTable::confirm_boundary`]).
+        slot: usize,
+        /// The assumed VN.
+        vn: u64,
+    },
+    /// No entry covers the address.
+    Miss,
+}
+
+/// Outcome of a write lookup (Figure 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteLookup {
+    /// Hit the first address: update round started.
+    HitEdgeStart {
+        /// Entry slot.
+        slot: usize,
+        /// VN the written-back line carries (old VN + 1).
+        vn: u64,
+    },
+    /// Hit the last address and the whole bitmap flipped: round complete,
+    /// tensor VN incremented.
+    HitEdgeFinish {
+        /// Entry slot.
+        slot: usize,
+        /// The new tensor VN.
+        vn: u64,
+    },
+    /// Hit strictly inside the range.
+    HitIn {
+        /// Entry slot.
+        slot: usize,
+        /// VN the written-back line carries.
+        vn: u64,
+    },
+    /// Outside every entry: off-chip VN update only.
+    Miss,
+    /// An assertion failed; the entry was invalidated.
+    Violation,
+}
+
+/// The Meta Table (512 entries in the paper's configuration, §6.5).
+///
+/// # Example
+///
+/// ```
+/// use tee_cpu::analyzer::meta_table::{MetaEntry, MetaTable, ReadLookup};
+///
+/// let mut t = MetaTable::new(512);
+/// t.insert(MetaEntry::new_1d(0x1000, 4, 64, 0));
+/// assert!(matches!(t.lookup_read(0x1040), ReadLookup::HitIn { vn: 0, .. }));
+/// assert!(matches!(t.lookup_read(0x1100), ReadLookup::HitBoundary { .. }));
+/// ```
+#[derive(Debug)]
+pub struct MetaTable {
+    slots: Vec<Option<MetaEntry>>,
+    tick: u64,
+    stats: StatSet,
+}
+
+impl MetaTable {
+    /// Creates a table with `capacity` entry slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "meta table needs at least one slot");
+        MetaTable {
+            slots: (0..capacity).map(|_| None).collect(),
+            tick: 0,
+            stats: StatSet::new("meta_table"),
+        }
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookup statistics (`hit_in`, `hit_boundary`, `miss`, `write_*`).
+    pub fn stats(&self) -> &StatSet {
+        &self.stats
+    }
+
+    /// Resets the statistics (entries are kept) — used for per-iteration
+    /// hit-rate sampling (Figure 18).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Read access to a live entry.
+    pub fn entry(&self, slot: usize) -> Option<&MetaEntry> {
+        self.slots.get(slot).and_then(|s| s.as_ref())
+    }
+
+    /// Iterates live entries.
+    pub fn entries(&self) -> impl Iterator<Item = &MetaEntry> {
+        self.slots.iter().filter_map(|s| s.as_ref())
+    }
+
+    /// Finds the entry whose region covers a tensor base address (used by
+    /// the transfer protocol to export VN+MAC).
+    pub fn find_covering(&self, va: u64) -> Option<&MetaEntry> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref())
+            .find(|e| e.contains(va))
+    }
+
+    /// Figure 10 read dataflow.
+    pub fn lookup_read(&mut self, va: u64) -> ReadLookup {
+        self.tick += 1;
+        let tick = self.tick;
+        for (slot, opt) in self.slots.iter_mut().enumerate() {
+            let Some(e) = opt.as_mut() else { continue };
+            if e.contains(va) {
+                e.lru = tick;
+                self.stats.bump("hit_in");
+                return ReadLookup::HitIn {
+                    slot,
+                    vn: e.read_vn(va),
+                };
+            }
+        }
+        for (slot, opt) in self.slots.iter_mut().enumerate() {
+            let Some(e) = opt.as_mut() else { continue };
+            if e.frontier() == Some(va) {
+                e.lru = tick;
+                self.stats.bump("hit_boundary");
+                return ReadLookup::HitBoundary { slot, vn: e.vn };
+            }
+        }
+        self.stats.bump("miss");
+        ReadLookup::Miss
+    }
+
+    /// Completes a boundary hit: if the off-chip VN matched the assumed VN,
+    /// the entry's range is extended by one stride; otherwise the entry is
+    /// left unchanged (the access is treated as a miss upstream).
+    pub fn confirm_boundary(&mut self, slot: usize, va: u64, vn_matched: bool) {
+        // 2-D growth covers one *speculative* new line per additional row;
+        // refuse the extension if any of those lines already belongs to
+        // another entry (overlap would desync write rounds).
+        let speculative_conflict = {
+            match self.slots.get(slot).and_then(|s| s.as_ref()) {
+                Some(e) => match e.shape {
+                    Shape::TwoD {
+                        row_lines,
+                        pitch,
+                        rows,
+                    } => (1..rows).any(|r| {
+                        let line = e.base + r * pitch + row_lines * LINE_BYTES;
+                        self.slots.iter().enumerate().any(|(i, s)| {
+                            i != slot && s.as_ref().is_some_and(|o| o.contains(line))
+                        })
+                    }),
+                    Shape::OneD { .. } => false,
+                },
+                None => false,
+            }
+        };
+        let Some(e) = self.slots.get_mut(slot).and_then(|s| s.as_mut()) else {
+            return;
+        };
+        if !vn_matched || e.frontier() != Some(va) || e.updating || speculative_conflict {
+            self.stats.bump("boundary_rejected");
+            return;
+        }
+        match e.shape {
+            Shape::OneD { ref mut lines, .. } => {
+                *lines += 1;
+                self.stats.bump("boundary_extended");
+            }
+            Shape::TwoD {
+                row_lines,
+                pitch,
+                rows,
+            } => {
+                let grown = row_lines + 1;
+                e.shape = if grown * LINE_BYTES == pitch {
+                    // Rows now touch: the region is contiguous.
+                    Shape::OneD {
+                        lines: rows * grown,
+                        stride: LINE_BYTES,
+                    }
+                } else {
+                    Shape::TwoD {
+                        row_lines: grown,
+                        pitch,
+                        rows,
+                    }
+                };
+                self.stats.bump("boundary_extended");
+            }
+        }
+    }
+
+    /// Figure 12 write dataflow. `va` is a line-aligned write-back address
+    /// as filtered by the LLC.
+    pub fn lookup_write(&mut self, va: u64) -> WriteLookup {
+        self.tick += 1;
+        let tick = self.tick;
+        let Some(slot) = self
+            .slots
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|e| e.contains(va)))
+        else {
+            self.stats.bump("write_miss");
+            return WriteLookup::Miss;
+        };
+        let e = self.slots[slot].as_mut().expect("slot checked above");
+        e.lru = tick;
+        let ordinal = e.line_ordinal(va);
+
+        // Assert1: each cacheline updates at most once per round.
+        if e.flipped.contains(&ordinal) {
+            if std::env::var_os("TT_DEBUG_VIOLATIONS").is_some() {
+                eprintln!(
+                    "assert1: va={va:#x} base={:#x} lines={} flipped={} updating={}",
+                    e.base, e.line_count(), e.flipped.len(), e.updating
+                );
+            }
+            self.stats.bump("write_violation");
+            self.stats.bump("violation_assert1");
+            self.slots[slot] = None;
+            return WriteLookup::Violation;
+        }
+
+        let first = va == e.first_line();
+        // Any in-range write opens the round (Figure 12(b): UF==1? N → 1).
+        if !e.updating {
+            e.updating = true;
+            if first {
+                self.stats.bump("write_edge_start");
+            }
+        }
+        e.flipped.insert(ordinal);
+        // Close-on-completion: the round finishes when every bitmap bit
+        // has flipped (Assert2 checked affirmatively). The paper checks at
+        // the *last address* and invalidates on mismatch; with per-core
+        // eviction streams the last address routinely drains before other
+        // cores' chunks, so we keep the round open until the bitmap is
+        // complete — the same exactly-once guarantee, skew-tolerant
+        // (see DESIGN.md "Fidelity & calibration notes").
+        if e.flipped.len() as u64 == e.line_count() {
+            e.vn += 1;
+            e.flipped.clear();
+            e.updating = false;
+            let vn = e.vn;
+            self.stats.bump("write_edge_finish");
+            return WriteLookup::HitEdgeFinish { slot, vn };
+        }
+        if first {
+            return WriteLookup::HitEdgeStart { slot, vn: e.vn + 1 };
+        }
+        self.stats.bump("write_hit_in");
+        WriteLookup::HitIn { slot, vn: e.vn + 1 }
+    }
+
+    /// Inserts a freshly detected entry, first attempting the Figure-11
+    /// merges against live entries; evicts the LRU entry if the table is
+    /// full. Returns the slot the region now lives in.
+    pub fn insert(&mut self, mut entry: MetaEntry) -> usize {
+        self.tick += 1;
+        entry.lru = self.tick;
+        // Reject overlapping coverage: overlapping entries desync the
+        // Figure-12 write rounds (flips landing in one entry while the
+        // other's bitmap goes stale). Exact per-line check for small
+        // (filter-sized) newcomers; preloads into a populated table use
+        // the cheaper containment test.
+        let overlap_slot = if entry.line_count() <= 256 {
+            let mut found = None;
+            'scan: for line in entry.covered_lines() {
+                for (i, s) in self.slots.iter().enumerate() {
+                    if s.as_ref().is_some_and(|e| e.contains(line)) {
+                        found = Some(i);
+                        break 'scan;
+                    }
+                }
+            }
+            found
+        } else {
+            self.slots.iter().position(|s| {
+                s.as_ref().is_some_and(|e| {
+                    e.contains(entry.first_line()) && e.contains(entry.last_line())
+                })
+            })
+        };
+        if let Some(slot) = overlap_slot {
+            self.stats.bump("redundant_insert");
+            return slot;
+        }
+        // Attempt merges until no entry absorbs the newcomer. Exact
+        // (concatenation / row-attach) merges are preferred; the 2-row tile
+        // *inference* only fires when no exact merge exists anywhere, so
+        // unrelated equal-length entries are not paired speculatively.
+        loop {
+            let mut absorbed = false;
+            for allow_inference in [false, true] {
+                for slot in 0..self.slots.len() {
+                    let Some(existing) = self.slots[slot].as_ref() else {
+                        continue;
+                    };
+                    if let Some(merged) = try_merge(existing, &entry, allow_inference) {
+                        // Remove the absorber and continue merging the
+                        // result — chains of row entries collapse into one
+                        // 2-D region.
+                        self.slots[slot] = None;
+                        entry = merged;
+                        entry.lru = self.tick;
+                        self.stats.bump("merges");
+                        absorbed = true;
+                        break;
+                    }
+                }
+                if absorbed {
+                    break;
+                }
+            }
+            if !absorbed {
+                break;
+            }
+        }
+        // Occupancy pressure: compact the table by merging adjacent
+        // existing entries before resorting to eviction ("merge a few
+        // recently updated entries", §4.2 — different cores' fragments of
+        // one tensor are merged with each other, not only with newcomers).
+        if self.slots.iter().filter(|s| s.is_some()).count() >= self.slots.len() * 7 / 8 {
+            self.compact();
+        }
+        let slot = self
+            .slots
+            .iter()
+            .position(|s| s.is_none())
+            .unwrap_or_else(|| {
+                self.stats.bump("evictions");
+                self.slots
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.as_ref().map_or(0, |e| e.lru))
+                    .map(|(i, _)| i)
+                    .expect("non-empty table")
+            });
+        self.slots[slot] = Some(entry);
+        slot
+    }
+
+    /// Pairwise-merges existing entries (exact merges only — no
+    /// speculative tile inference between settled entries). Runs until a
+    /// fixed point.
+    pub fn compact(&mut self) {
+        loop {
+            let mut merged_any = false;
+            'outer: for i in 0..self.slots.len() {
+                if self.slots[i].is_none() {
+                    continue;
+                }
+                for j in (i + 1)..self.slots.len() {
+                    let (Some(a), Some(b)) = (&self.slots[i], &self.slots[j]) else {
+                        continue;
+                    };
+                    if let Some(m) = try_merge(a, b, false) {
+                        let mut m = m;
+                        m.lru = self.tick;
+                        self.slots[i] = Some(m);
+                        self.slots[j] = None;
+                        self.stats.bump("merges");
+                        merged_any = true;
+                        continue 'outer;
+                    }
+                }
+            }
+            if !merged_any {
+                break;
+            }
+        }
+    }
+
+    /// Invalidates every entry (context switch without save/restore).
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+    }
+}
+
+/// Ceiling on how sparse an inferred 2-D tile may be: the pitch may exceed
+/// the covered row span by at most this factor (a 256×256 matrix tiled
+/// 64×64 has ratio 4). Prevents pairing unrelated distant streams.
+const MAX_PITCH_RATIO: u64 = 32;
+
+/// Largest row (in lines) eligible for 2-row tile inference — freshly
+/// detected tile rows are filter-threshold sized; long streaming runs are
+/// whole tensors and must not pair speculatively.
+const MAX_INFERENCE_ROW_LINES: u64 = 64;
+
+/// Figure 11: merging two detected regions into a larger one. Returns the
+/// merged entry if `a` and `b` are compatible (same stride and VN, and
+/// geometrically adjacent in one of the allowed directions).
+/// `allow_inference` additionally permits the speculative 2-row tile
+/// inference of Figure 11(b).
+fn try_merge(a: &MetaEntry, b: &MetaEntry, allow_inference: bool) -> Option<MetaEntry> {
+    if a.vn != b.vn || a.is_updating() || b.is_updating() {
+        return None;
+    }
+    match (a.shape, b.shape) {
+        // 1D ∥ 1D, same stride, end-to-end: concatenate.
+        (
+            Shape::OneD {
+                lines: la,
+                stride: sa,
+            },
+            Shape::OneD {
+                lines: lb,
+                stride: sb,
+            },
+        ) if sa == sb => {
+            if a.base + la * sa == b.base {
+                return Some(MetaEntry::new_1d(a.base, la + lb, sa, a.vn));
+            }
+            if b.base + lb * sb == a.base {
+                return Some(MetaEntry::new_1d(b.base, la + lb, sa, a.vn));
+            }
+            // 1D + 1D as two rows of a tile (equal length, non-adjacent):
+            // infer the pitch (Figure 11b).
+            if allow_inference
+                && la == lb
+                && la <= MAX_INFERENCE_ROW_LINES
+                && sa == LINE_BYTES
+            {
+                let (lo, hi) = if a.base < b.base { (a, b) } else { (b, a) };
+                let pitch = hi.base - lo.base;
+                let span = la * sa;
+                if pitch > span && pitch <= span * MAX_PITCH_RATIO {
+                    let mut m = MetaEntry::new_1d(lo.base, la, sa, a.vn);
+                    m.shape = Shape::TwoD {
+                        row_lines: la,
+                        pitch,
+                        rows: 2,
+                    };
+                    return Some(m);
+                }
+            }
+            None
+        }
+        // 2D + next/previous row.
+        (
+            Shape::TwoD {
+                row_lines,
+                pitch,
+                rows,
+            },
+            Shape::OneD { lines, stride },
+        ) if stride == LINE_BYTES && lines == row_lines => {
+            merge_row(a, b, row_lines, pitch, rows)
+        }
+        (
+            Shape::OneD { lines, stride },
+            Shape::TwoD {
+                row_lines,
+                pitch,
+                rows,
+            },
+        ) if stride == LINE_BYTES && lines == row_lines => {
+            merge_row(b, a, row_lines, pitch, rows)
+        }
+        // 2D + 2D: stacked vertically or side-by-side horizontally
+        // (the "4 directions for 2D tensors" of Figure 11).
+        (
+            Shape::TwoD {
+                row_lines: rla,
+                pitch: pa,
+                rows: ra,
+            },
+            Shape::TwoD {
+                row_lines: rlb,
+                pitch: pb,
+                rows: rb,
+            },
+        ) if pa == pb => {
+            let mk = |base: u64, row_lines: u64, rows: u64, src: &MetaEntry| {
+                let mut m = src.clone();
+                m.base = base;
+                m.shape = Shape::TwoD {
+                    row_lines,
+                    pitch: pa,
+                    rows,
+                };
+                m.flipped.clear();
+                m.updating = false;
+                m
+            };
+            if rla == rlb {
+                // Vertical stacking.
+                if a.base + ra * pa == b.base {
+                    return Some(mk(a.base, rla, ra + rb, a));
+                }
+                if b.base + rb * pb == a.base {
+                    return Some(mk(b.base, rla, ra + rb, b));
+                }
+            }
+            if ra == rb {
+                // Horizontal adjacency: rows concatenate within the pitch.
+                if b.base == a.base + rla * LINE_BYTES && (rla + rlb) * LINE_BYTES <= pa {
+                    return Some(mk(a.base, rla + rlb, ra, a));
+                }
+                if a.base == b.base + rlb * LINE_BYTES && (rla + rlb) * LINE_BYTES <= pa {
+                    return Some(mk(b.base, rla + rlb, ra, b));
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Attaches a row entry `row` to a 2-D region `tile` (above or below).
+fn merge_row(
+    tile: &MetaEntry,
+    row: &MetaEntry,
+    row_lines: u64,
+    pitch: u64,
+    rows: u64,
+) -> Option<MetaEntry> {
+    if row.base == tile.base + rows * pitch {
+        let mut m = tile.clone();
+        m.shape = Shape::TwoD {
+            row_lines,
+            pitch,
+            rows: rows + 1,
+        };
+        m.flipped.clear();
+        m.updating = false;
+        Some(m)
+    } else if row.base + pitch == tile.base {
+        let mut m = tile.clone();
+        m.base = row.base;
+        m.shape = Shape::TwoD {
+            row_lines,
+            pitch,
+            rows: rows + 1,
+        };
+        m.flipped.clear();
+        m.updating = false;
+        Some(m)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_in_and_boundary() {
+        let mut t = MetaTable::new(8);
+        t.insert(MetaEntry::new_1d(0, 4, 64, 7));
+        match t.lookup_read(64) {
+            ReadLookup::HitIn { vn, .. } => assert_eq!(vn, 7),
+            other => panic!("expected hit_in, got {other:?}"),
+        }
+        assert!(matches!(t.lookup_read(256), ReadLookup::HitBoundary { .. }));
+        assert!(matches!(t.lookup_read(512), ReadLookup::Miss));
+        assert!(matches!(t.lookup_read(32), ReadLookup::Miss), "unaligned offset");
+    }
+
+    #[test]
+    fn boundary_extension_grows_coverage() {
+        let mut t = MetaTable::new(8);
+        let slot = t.insert(MetaEntry::new_1d(0, 4, 64, 0));
+        if let ReadLookup::HitBoundary { slot: s, .. } = t.lookup_read(256) {
+            assert_eq!(s, slot);
+            t.confirm_boundary(s, 256, true);
+        } else {
+            panic!("expected boundary");
+        }
+        assert!(matches!(t.lookup_read(256), ReadLookup::HitIn { .. }));
+        assert_eq!(t.stats().get("boundary_extended"), 1);
+    }
+
+    #[test]
+    fn rejected_boundary_does_not_extend() {
+        let mut t = MetaTable::new(8);
+        let slot = t.insert(MetaEntry::new_1d(0, 4, 64, 0));
+        t.confirm_boundary(slot, 256, false);
+        assert!(matches!(t.lookup_read(256), ReadLookup::HitBoundary { .. }));
+    }
+
+    #[test]
+    fn write_round_increments_vn_once() {
+        let mut t = MetaTable::new(8);
+        let slot = t.insert(MetaEntry::new_1d(0, 4, 64, 0));
+        assert!(matches!(
+            t.lookup_write(0),
+            WriteLookup::HitEdgeStart { vn: 1, .. }
+        ));
+        assert!(matches!(t.lookup_write(64), WriteLookup::HitIn { vn: 1, .. }));
+        assert!(matches!(t.lookup_write(128), WriteLookup::HitIn { .. }));
+        match t.lookup_write(192) {
+            WriteLookup::HitEdgeFinish { vn, .. } => assert_eq!(vn, 1),
+            other => panic!("expected finish, got {other:?}"),
+        }
+        assert_eq!(t.entry(slot).unwrap().vn, 1);
+        assert!(!t.entry(slot).unwrap().is_updating());
+    }
+
+    #[test]
+    fn double_write_violates_assert1() {
+        let mut t = MetaTable::new(8);
+        t.insert(MetaEntry::new_1d(0, 4, 64, 0));
+        t.lookup_write(0);
+        t.lookup_write(64);
+        assert_eq!(t.lookup_write(64), WriteLookup::Violation);
+        assert_eq!(t.len(), 0, "entry invalidated");
+    }
+
+    #[test]
+    fn early_last_address_keeps_round_open() {
+        // Close-on-completion: reaching the last address before the other
+        // lines does not finish (or invalidate) the round — the VN bumps
+        // only when the bitmap completes.
+        let mut t = MetaTable::new(8);
+        let slot = t.insert(MetaEntry::new_1d(0, 4, 64, 0));
+        t.lookup_write(0);
+        assert!(matches!(t.lookup_write(192), WriteLookup::HitIn { .. }));
+        assert_eq!(t.entry(slot).unwrap().vn, 0, "round still open");
+        t.lookup_write(64);
+        assert!(matches!(
+            t.lookup_write(128),
+            WriteLookup::HitEdgeFinish { vn: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn read_vn_tracks_partial_update() {
+        let mut t = MetaTable::new(8);
+        let slot = t.insert(MetaEntry::new_1d(0, 4, 64, 5));
+        t.lookup_write(0); // flips line 0, vn now logically 6 for line 0
+        match t.lookup_read(0) {
+            ReadLookup::HitIn { vn, .. } => assert_eq!(vn, 6),
+            other => panic!("{other:?}"),
+        }
+        match t.lookup_read(64) {
+            ReadLookup::HitIn { vn, .. } => assert_eq!(vn, 5),
+            other => panic!("{other:?}"),
+        }
+        let _ = slot;
+    }
+
+    #[test]
+    fn adjacent_1d_entries_merge() {
+        let mut t = MetaTable::new(8);
+        t.insert(MetaEntry::new_1d(0, 4, 64, 0));
+        t.insert(MetaEntry::new_1d(256, 4, 64, 0));
+        assert_eq!(t.len(), 1);
+        let e = t.entries().next().unwrap();
+        assert_eq!(e.line_count(), 8);
+        assert!(e.contains(448));
+    }
+
+    #[test]
+    fn prepend_merge_works() {
+        let mut t = MetaTable::new(8);
+        t.insert(MetaEntry::new_1d(256, 4, 64, 0));
+        t.insert(MetaEntry::new_1d(0, 4, 64, 0));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.entries().next().unwrap().base, 0);
+    }
+
+    #[test]
+    fn different_vn_does_not_merge() {
+        let mut t = MetaTable::new(8);
+        t.insert(MetaEntry::new_1d(0, 4, 64, 0));
+        t.insert(MetaEntry::new_1d(256, 4, 64, 1));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn rows_merge_into_2d_then_extend() {
+        let mut t = MetaTable::new(8);
+        // Two 4-line rows with pitch 1024: infer a 2-row tile.
+        t.insert(MetaEntry::new_1d(0, 4, 64, 0));
+        t.insert(MetaEntry::new_1d(1024, 4, 64, 0));
+        assert_eq!(t.len(), 1);
+        let e = t.entries().next().unwrap();
+        assert_eq!(
+            e.shape,
+            Shape::TwoD {
+                row_lines: 4,
+                pitch: 1024,
+                rows: 2
+            }
+        );
+        // Third row extends the tile.
+        t.insert(MetaEntry::new_1d(2048, 4, 64, 0));
+        let e = t.entries().next().unwrap();
+        assert!(matches!(e.shape, Shape::TwoD { rows: 3, .. }));
+        assert!(e.contains(2048 + 128));
+        assert!(!e.contains(512), "gap between rows not covered");
+    }
+
+    #[test]
+    fn chain_merge_collapses_multiple_entries() {
+        let mut t = MetaTable::new(8);
+        // Unequal lengths so the speculative 2-row inference stays out of
+        // the way; the bridging insert cascades across both neighbours.
+        t.insert(MetaEntry::new_1d(0, 2, 64, 0));
+        t.insert(MetaEntry::new_1d(192, 1, 64, 0));
+        t.insert(MetaEntry::new_1d(128, 1, 64, 0));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.entries().next().unwrap().line_count(), 4);
+    }
+
+    #[test]
+    fn horizontal_2d_merge() {
+        let mut t = MetaTable::new(8);
+        // Two 4-line × 4-row tiles side by side under a 1024 B pitch.
+        let mut a = MetaEntry::new_1d(0, 4, 64, 0);
+        a.shape = Shape::TwoD {
+            row_lines: 4,
+            pitch: 1024,
+            rows: 4,
+        };
+        let mut b = MetaEntry::new_1d(256, 4, 64, 0);
+        b.shape = Shape::TwoD {
+            row_lines: 4,
+            pitch: 1024,
+            rows: 4,
+        };
+        t.insert(a);
+        t.insert(b);
+        assert_eq!(t.len(), 1);
+        let e = t.entries().next().unwrap();
+        assert_eq!(
+            e.shape,
+            Shape::TwoD {
+                row_lines: 8,
+                pitch: 1024,
+                rows: 4
+            }
+        );
+        assert!(e.contains(256 + 1024));
+    }
+
+    #[test]
+    fn lru_eviction_when_full() {
+        let mut t = MetaTable::new(2);
+        t.insert(MetaEntry::new_1d(0, 2, 64, 0));
+        t.insert(MetaEntry::new_1d(0x10000, 2, 64, 1));
+        // Touch the first entry so the second is LRU.
+        let _ = t.lookup_read(0);
+        t.insert(MetaEntry::new_1d(0x20000, 2, 64, 2));
+        assert_eq!(t.len(), 2);
+        assert!(t.find_covering(0).is_some(), "recently used survives");
+        assert!(t.find_covering(0x10000).is_none(), "LRU evicted");
+        assert_eq!(t.stats().get("evictions"), 1);
+    }
+
+    #[test]
+    fn from_desc_covers_2d() {
+        let d = TensorDesc::new_2d(0, 3, 128, 512);
+        let e = MetaEntry::from_desc(&d, 4);
+        assert!(e.contains(512));
+        assert!(e.contains(64));
+        assert!(!e.contains(128));
+        assert_eq!(e.line_count(), 6);
+    }
+
+    #[test]
+    fn update_round_on_2d_entry() {
+        let mut t = MetaTable::new(4);
+        let d = TensorDesc::new_2d(0, 2, 128, 512);
+        t.insert(MetaEntry::from_desc(&d, 0));
+        assert!(matches!(t.lookup_write(0), WriteLookup::HitEdgeStart { .. }));
+        assert!(matches!(t.lookup_write(64), WriteLookup::HitIn { .. }));
+        assert!(matches!(t.lookup_write(512), WriteLookup::HitIn { .. }));
+        assert!(matches!(
+            t.lookup_write(576),
+            WriteLookup::HitEdgeFinish { vn: 1, .. }
+        ));
+    }
+}

@@ -1,0 +1,421 @@
+//! TenAnalyzer: hardware tensor detection and management in the memory
+//! controller (§4.2).
+//!
+//! The analyzer sits beside the cache hierarchy and receives every core
+//! request (virtual addresses, in parallel with cache lookup, hiding its
+//! latency). It owns the [`meta_table::MetaTable`] and the
+//! [`filter::TensorFilter`] and implements the reading (detection) and
+//! writing (update) dataflows of Figures 10 and 12. The *Enable
+//! Tensor-wise Management Flag* (`EnTMF`) turns the whole unit off for
+//! non-tensor applications.
+
+pub mod filter;
+pub mod meta_table;
+
+use filter::TensorFilter;
+use meta_table::{MetaEntry, MetaTable, ReadLookup, WriteLookup};
+
+use crate::tensor::TensorDesc;
+use tee_crypto::MacTag;
+use tee_sim::StatSet;
+
+/// Configuration of the analyzer (§6.5 hardware budget).
+#[derive(Debug, Clone, Copy)]
+pub struct TenAnalyzerConfig {
+    /// Meta Table entry count (512 in the paper).
+    pub meta_entries: usize,
+    /// Tensor Filter entry count (10 in the paper).
+    pub filter_entries: usize,
+    /// Addresses collected before the tensor condition is checked (4).
+    pub filter_threshold: usize,
+    /// EnTMF: whether tensor-wise management is active.
+    pub enabled: bool,
+}
+
+impl Default for TenAnalyzerConfig {
+    fn default() -> Self {
+        TenAnalyzerConfig {
+            meta_entries: 512,
+            filter_entries: 10,
+            filter_threshold: 4,
+            enabled: true,
+        }
+    }
+}
+
+/// A saved Meta Table image for enclave context switching (§4.2).
+#[derive(Debug, Clone)]
+pub struct SavedContext {
+    entries: Vec<MetaEntry>,
+}
+
+impl SavedContext {
+    /// Number of saved entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the saved image is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The analyzer's verdict on a core read request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadDecision {
+    /// VN served on-chip; no off-chip metadata traffic at all.
+    HitIn {
+        /// The on-chip VN for this line.
+        vn: u64,
+    },
+    /// VN assumed from the entry; a background confirmation fetch must be
+    /// issued, and [`TenAnalyzer::confirm_boundary`] called with its result.
+    HitBoundary {
+        /// Meta Table slot to confirm against.
+        slot: usize,
+        /// The assumed VN.
+        vn: u64,
+    },
+    /// Fall back to the cacheline-granularity (SGX) path; the off-chip VN
+    /// should be reported back via [`TenAnalyzer::observe_miss_vn`] so the
+    /// filter can learn the pattern.
+    Miss,
+}
+
+/// The analyzer's verdict on an LLC write-back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteDecision {
+    /// Covered by an entry: on-chip VN bookkeeping done; the line carries
+    /// `vn`; off-chip VN equivalence update proceeds in the background.
+    Covered {
+        /// VN the written-back line must be encrypted under.
+        vn: u64,
+        /// Whether this write completed a tensor update round.
+        finished_round: bool,
+    },
+    /// Not covered: full off-chip (SGX) write path.
+    Miss,
+}
+
+/// The TenAnalyzer unit.
+///
+/// # Example
+///
+/// ```
+/// use tee_cpu::analyzer::{ReadDecision, TenAnalyzer, TenAnalyzerConfig};
+///
+/// let mut a = TenAnalyzer::new(TenAnalyzerConfig::default());
+/// // Four sequential misses teach the filter a streaming tensor.
+/// for i in 0..4u64 {
+///     assert_eq!(a.on_read(i * 64), ReadDecision::Miss);
+///     a.observe_miss_vn(i * 64, 0);
+/// }
+/// // The next line is the entry's boundary...
+/// assert!(matches!(a.on_read(4 * 64), ReadDecision::HitBoundary { .. }));
+/// ```
+#[derive(Debug)]
+pub struct TenAnalyzer {
+    cfg: TenAnalyzerConfig,
+    table: MetaTable,
+    filter: TensorFilter,
+    stats: StatSet,
+    read_snapshot: (u64, u64, u64),
+}
+
+impl TenAnalyzer {
+    /// Builds an analyzer.
+    pub fn new(cfg: TenAnalyzerConfig) -> Self {
+        TenAnalyzer {
+            cfg,
+            table: MetaTable::new(cfg.meta_entries),
+            filter: TensorFilter::new(cfg.filter_entries, cfg.filter_threshold),
+            stats: StatSet::new("ten_analyzer"),
+            read_snapshot: (0, 0, 0),
+        }
+    }
+
+    /// Whether EnTMF is set.
+    pub fn is_enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    /// The Meta Table (hit statistics, entry inspection).
+    pub fn table(&self) -> &MetaTable {
+        &self.table
+    }
+
+    /// The Tensor Filter (detection statistics).
+    pub fn filter(&self) -> &TensorFilter {
+        &self.filter
+    }
+
+    /// Unit-level statistics.
+    pub fn stats(&self) -> &StatSet {
+        &self.stats
+    }
+
+    /// Core read request (VA, line-aligned). Figure 10 dataflow.
+    pub fn on_read(&mut self, va: u64) -> ReadDecision {
+        if !self.cfg.enabled {
+            return ReadDecision::Miss;
+        }
+        match self.table.lookup_read(va) {
+            ReadLookup::HitIn { vn, .. } => ReadDecision::HitIn { vn },
+            ReadLookup::HitBoundary { slot, vn } => ReadDecision::HitBoundary { slot, vn },
+            ReadLookup::Miss => ReadDecision::Miss,
+        }
+    }
+
+    /// Reports the off-chip VN observed for a missed read so the filter
+    /// can collect the pattern; a completed pattern populates the Meta
+    /// Table (possibly merging with existing entries).
+    pub fn observe_miss_vn(&mut self, va: u64, off_chip_vn: u64) {
+        if !self.cfg.enabled {
+            return;
+        }
+        if let Some(entry) = self.filter.observe_miss(va, off_chip_vn) {
+            self.stats.bump("entries_created");
+            self.table.insert(entry);
+        }
+    }
+
+    /// Resolves a pending boundary confirmation: `vn_matched` is whether
+    /// the off-chip VN equalled the assumed VN.
+    pub fn confirm_boundary(&mut self, slot: usize, va: u64, vn_matched: bool) {
+        if self.cfg.enabled {
+            self.table.confirm_boundary(slot, va, vn_matched);
+        }
+    }
+
+    /// LLC write-back (VA, line-aligned). Figure 12 dataflow.
+    pub fn on_writeback(&mut self, va: u64) -> WriteDecision {
+        if !self.cfg.enabled {
+            return WriteDecision::Miss;
+        }
+        match self.table.lookup_write(va) {
+            WriteLookup::HitEdgeStart { vn, .. } | WriteLookup::HitIn { vn, .. } => {
+                WriteDecision::Covered {
+                    vn,
+                    finished_round: false,
+                }
+            }
+            WriteLookup::HitEdgeFinish { vn, .. } => WriteDecision::Covered {
+                vn,
+                finished_round: true,
+            },
+            WriteLookup::Miss => WriteDecision::Miss,
+            WriteLookup::Violation => {
+                self.stats.bump("violations");
+                WriteDecision::Miss
+            }
+        }
+    }
+
+    /// Fast-path entry creation from an NPU transfer instruction, which
+    /// carries the tensor structure (address, size, stride) — §4.2.
+    pub fn preload_from_transfer(&mut self, desc: &TensorDesc, vn: u64, mac: MacTag) {
+        if !self.cfg.enabled {
+            return;
+        }
+        let mut e = MetaEntry::from_desc(desc, vn);
+        e.mac = mac;
+        self.stats.bump("entries_preloaded");
+        self.table.insert(e);
+    }
+
+    /// Exports `(vn, mac)` for a tensor base address, as the trusted
+    /// metadata channel does during CPU→NPU transfer.
+    pub fn export_metadata(&self, base_va: u64) -> Option<(u64, MacTag)> {
+        self.table.find_covering(base_va).map(|e| (e.vn, e.mac))
+    }
+
+    /// Per-iteration hit-rate snapshot (Figure 18): returns the
+    /// `(hit_in, hit_boundary, miss)` read counts accumulated since the
+    /// previous call (other statistics are left untouched).
+    pub fn take_read_stats(&mut self) -> (u64, u64, u64) {
+        let s = self.table.stats();
+        let now = (s.get("hit_in"), s.get("hit_boundary"), s.get("miss"));
+        let prev = self.read_snapshot;
+        self.read_snapshot = now;
+        (now.0 - prev.0, now.1 - prev.1, now.2 - prev.2)
+    }
+
+    /// Background merge scan: consolidates adjacent settled entries.
+    /// The engine triggers this at kernel boundaries (all update rounds
+    /// closed, VNs in agreement) — fragments left by per-thread detection
+    /// collapse into region-wide entries.
+    pub fn compact(&mut self) {
+        if self.cfg.enabled {
+            self.table.compact();
+        }
+    }
+
+    /// Context switch, save phase (§4.2: "the Meta Table is saved and
+    /// restored for context-switching cases"): exports every live entry
+    /// and clears the on-chip state for the next enclave.
+    pub fn save_context(&mut self) -> SavedContext {
+        let entries: Vec<MetaEntry> = self.table.entries().cloned().collect();
+        self.clear();
+        SavedContext { entries }
+    }
+
+    /// Context switch, restore phase: reloads a previously saved Meta
+    /// Table image.
+    pub fn restore_context(&mut self, ctx: SavedContext) {
+        self.table.clear();
+        for e in ctx.entries {
+            self.table.insert(e);
+        }
+    }
+
+    /// Context switch without save/restore: drop all on-chip state.
+    pub fn clear(&mut self) {
+        self.table.clear();
+        self.filter.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyzer() -> TenAnalyzer {
+        TenAnalyzer::new(TenAnalyzerConfig {
+            meta_entries: 16,
+            filter_entries: 10,
+            filter_threshold: 4,
+            enabled: true,
+        })
+    }
+
+    /// Streams one pass over `lines` lines starting at `base`, reporting
+    /// VN `vn` for misses and confirming boundaries, like the engine does.
+    fn stream_pass(a: &mut TenAnalyzer, base: u64, lines: u64, vn: u64) -> (u64, u64, u64) {
+        let (mut hit_in, mut boundary, mut miss) = (0, 0, 0);
+        for i in 0..lines {
+            let va = base + i * 64;
+            match a.on_read(va) {
+                ReadDecision::HitIn { .. } => hit_in += 1,
+                ReadDecision::HitBoundary { slot, .. } => {
+                    boundary += 1;
+                    a.confirm_boundary(slot, va, true);
+                }
+                ReadDecision::Miss => {
+                    miss += 1;
+                    a.observe_miss_vn(va, vn);
+                }
+            }
+        }
+        (hit_in, boundary, miss)
+    }
+
+    #[test]
+    fn detection_then_boundary_then_hit_in() {
+        let mut a = analyzer();
+        // Pass 1: detection misses + boundary extension for the rest.
+        let (h1, b1, m1) = stream_pass(&mut a, 0, 64, 0);
+        assert_eq!(m1, 4, "filter threshold misses");
+        assert_eq!(b1, 60, "rest of the pass extends the entry");
+        assert_eq!(h1, 0);
+        // Pass 2: everything hits in.
+        let (h2, b2, m2) = stream_pass(&mut a, 0, 64, 0);
+        assert_eq!((h2, b2, m2), (64, 0, 0));
+    }
+
+    #[test]
+    fn disabled_analyzer_is_inert() {
+        let mut a = TenAnalyzer::new(TenAnalyzerConfig {
+            enabled: false,
+            ..TenAnalyzerConfig::default()
+        });
+        for i in 0..8 {
+            assert_eq!(a.on_read(i * 64), ReadDecision::Miss);
+            a.observe_miss_vn(i * 64, 0);
+        }
+        assert_eq!(a.table().len(), 0);
+        assert_eq!(a.on_writeback(0), WriteDecision::Miss);
+    }
+
+    #[test]
+    fn writeback_round_trips_vn() {
+        let mut a = analyzer();
+        stream_pass(&mut a, 0, 16, 0);
+        // Full write round in order.
+        let mut finished = false;
+        for i in 0..16u64 {
+            match a.on_writeback(i * 64) {
+                WriteDecision::Covered {
+                    vn, finished_round, ..
+                } => {
+                    assert_eq!(vn, 1, "written lines carry vn+1");
+                    finished |= finished_round;
+                }
+                WriteDecision::Miss => panic!("covered line reported miss"),
+            }
+        }
+        assert!(finished, "last line must complete the round");
+        // Next read sees the incremented VN.
+        match a.on_read(0) {
+            ReadDecision::HitIn { vn } => assert_eq!(vn, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn preload_covers_immediately() {
+        let mut a = analyzer();
+        let d = TensorDesc::new_1d(0x8000, 64 * 64);
+        a.preload_from_transfer(&d, 9, MacTag::from_raw(0xAB));
+        match a.on_read(0x8000 + 40 * 64) {
+            ReadDecision::HitIn { vn } => assert_eq!(vn, 9),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(a.export_metadata(0x8000), Some((9, MacTag::from_raw(0xAB))));
+    }
+
+    #[test]
+    fn violation_falls_back_to_miss() {
+        let mut a = analyzer();
+        stream_pass(&mut a, 0, 8, 0);
+        a.on_writeback(0);
+        a.on_writeback(64);
+        // Double write violates Assert1; entry invalidated.
+        assert_eq!(a.on_writeback(64), WriteDecision::Miss);
+        assert_eq!(a.stats().get("violations"), 1);
+        assert_eq!(a.on_read(0), ReadDecision::Miss, "coverage lost");
+    }
+
+    #[test]
+    fn take_read_stats_resets() {
+        let mut a = analyzer();
+        stream_pass(&mut a, 0, 8, 0);
+        let (h, b, m) = a.take_read_stats();
+        assert_eq!(h + b + m, 8);
+        let (h2, b2, m2) = a.take_read_stats();
+        assert_eq!((h2, b2, m2), (0, 0, 0));
+    }
+
+    #[test]
+    fn context_save_restore_round_trips() {
+        let mut a = analyzer();
+        stream_pass(&mut a, 0, 32, 0);
+        assert!(matches!(a.on_read(64), ReadDecision::HitIn { .. }));
+        // Switch away: state leaves the chip.
+        let saved = a.save_context();
+        assert!(!saved.is_empty());
+        assert_eq!(a.on_read(64), ReadDecision::Miss);
+        // Switch back: coverage returns.
+        a.restore_context(saved);
+        assert!(matches!(a.on_read(64), ReadDecision::HitIn { .. }));
+    }
+
+    #[test]
+    fn clear_drops_state() {
+        let mut a = analyzer();
+        stream_pass(&mut a, 0, 16, 0);
+        a.clear();
+        assert_eq!(a.table().len(), 0);
+        assert_eq!(a.on_read(0), ReadDecision::Miss);
+    }
+}

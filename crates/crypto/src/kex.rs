@@ -1,0 +1,129 @@
+//! Diffie–Hellman key agreement for the direct-transfer protocol (§4.4.2).
+//!
+//! After mutual attestation, the CPU and NPU enclaves "perform a
+//! key-exchange protocol like the Diffie–Hellman which enables the same key
+//! in both enclaves without leaking the key in the communication process".
+//!
+//! This is a *modeled* exchange over the multiplicative group modulo the
+//! Mersenne prime `2^61 - 1` — it exercises the protocol shape (nothing
+//! secret crosses the bus; both sides derive the same [`Key`]) at
+//! simulation cost, not production strength. See the crate-level security
+//! note.
+
+use crate::Key;
+
+/// The group modulus: Mersenne prime `2^61 - 1`.
+pub const MODULUS: u64 = (1u64 << 61) - 1;
+
+/// A generator of a large subgroup.
+pub const GENERATOR: u64 = 3;
+
+/// Modular exponentiation `base^exp mod MODULUS`.
+fn modpow(mut base: u64, mut exp: u64) -> u64 {
+    let m = MODULUS as u128;
+    let mut acc: u128 = 1;
+    let mut b = base as u128 % m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc * b % m;
+        }
+        b = b * b % m;
+        exp >>= 1;
+    }
+    base = acc as u64;
+    base
+}
+
+/// One party's Diffie–Hellman key pair.
+///
+/// # Example
+///
+/// ```
+/// use tee_crypto::DhKeyPair;
+/// let cpu = DhKeyPair::from_secret(0x1234_5678_9abc);
+/// let npu = DhKeyPair::from_secret(0xfeed_f00d_cafe);
+/// let k1 = cpu.shared_key(npu.public());
+/// let k2 = npu.shared_key(cpu.public());
+/// assert_eq!(k1, k2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DhKeyPair {
+    secret: u64,
+    public: u64,
+}
+
+impl DhKeyPair {
+    /// Creates a key pair from a private exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secret` is zero (a degenerate exponent).
+    pub fn from_secret(secret: u64) -> Self {
+        assert!(secret != 0, "secret exponent must be nonzero");
+        let secret = secret % (MODULUS - 1);
+        let secret = if secret == 0 { 1 } else { secret };
+        DhKeyPair {
+            secret,
+            public: modpow(GENERATOR, secret),
+        }
+    }
+
+    /// The public value `g^secret mod p` — safe to send over the bus.
+    pub fn public(&self) -> u64 {
+        self.public
+    }
+
+    /// Derives the shared symmetric [`Key`] from the peer's public value.
+    pub fn shared_key(&self, peer_public: u64) -> Key {
+        let shared = modpow(peer_public, self.secret);
+        Key::from_seed(shared).derive("dh-session")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_sides_agree() {
+        let a = DhKeyPair::from_secret(987_654_321);
+        let b = DhKeyPair::from_secret(123_456_789);
+        assert_eq!(a.shared_key(b.public()), b.shared_key(a.public()));
+    }
+
+    #[test]
+    fn different_peers_different_keys() {
+        let a = DhKeyPair::from_secret(11);
+        let b = DhKeyPair::from_secret(22);
+        let c = DhKeyPair::from_secret(33);
+        assert_ne!(a.shared_key(b.public()), a.shared_key(c.public()));
+    }
+
+    #[test]
+    fn public_value_hides_secret() {
+        // The public value is not the secret and not a trivial function of it.
+        let a = DhKeyPair::from_secret(42);
+        assert_ne!(a.public(), 42);
+        assert_ne!(a.public(), GENERATOR * 42);
+    }
+
+    #[test]
+    fn modpow_small_cases() {
+        assert_eq!(modpow(2, 10), 1024);
+        assert_eq!(modpow(GENERATOR, 0), 1);
+        assert_eq!(modpow(GENERATOR, 1), GENERATOR);
+    }
+
+    #[test]
+    fn modpow_fermat() {
+        // g^(p-1) ≡ 1 mod p for prime p.
+        assert_eq!(modpow(GENERATOR, MODULUS - 1), 1);
+        assert_eq!(modpow(12345, MODULUS - 1), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_secret_rejected() {
+        let _ = DhKeyPair::from_secret(0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the cryptographic primitives.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tee_crypto::aes::Aes128;
+use tee_crypto::ctr::{CtrEngine, LineCounter, LINE_BYTES};
+use tee_crypto::mac::{line_mac, message_mac, MacKey};
+use tee_crypto::merkle::VnMerkleTree;
+use tee_crypto::{DhKeyPair, Key};
+
+proptest! {
+    /// AES is a permutation: decrypt ∘ encrypt = id for any key/block.
+    #[test]
+    fn aes_block_round_trip(key_seed in any::<u64>(), block in any::<[u8; 16]>()) {
+        let aes = Aes128::new(&Key::from_seed(key_seed));
+        prop_assert_eq!(aes.decrypt_block(aes.encrypt_block(block)), block);
+    }
+
+    /// AES injectivity: distinct blocks map to distinct ciphertexts.
+    #[test]
+    fn aes_injective(key_seed in any::<u64>(), a in any::<[u8; 16]>(), b in any::<[u8; 16]>()) {
+        prop_assume!(a != b);
+        let aes = Aes128::new(&Key::from_seed(key_seed));
+        prop_assert_ne!(aes.encrypt_block(a), aes.encrypt_block(b));
+    }
+
+    /// Keystream depends on every counter field: changing the VN, the PA
+    /// or the key changes the ciphertext.
+    #[test]
+    fn ctr_counter_separation(seed in any::<u64>(), pa in any::<u64>(), vn in 0u64..u64::MAX) {
+        let pa = pa & !63;
+        let eng = CtrEngine::new(Key::from_seed(seed));
+        let pt = [0u8; LINE_BYTES];
+        let base = eng.encrypt_line(&pt, LineCounter { pa, vn });
+        prop_assert_ne!(base, eng.encrypt_line(&pt, LineCounter { pa, vn: vn + 1 }));
+        prop_assert_ne!(base, eng.encrypt_line(&pt, LineCounter { pa: pa ^ 64, vn }));
+        let other = CtrEngine::new(Key::from_seed(seed.wrapping_add(1)));
+        prop_assert_ne!(base, other.encrypt_line(&pt, LineCounter { pa, vn }));
+    }
+
+    /// MACs never exceed their 56-bit space and differ across keys.
+    #[test]
+    fn mac_tag_space(seed in any::<u64>(), msg in vec(any::<u8>(), 0..256)) {
+        let k1 = MacKey(Key::from_seed(seed).0);
+        let k2 = MacKey(Key::from_seed(seed ^ 0xFFFF).0);
+        let t1 = message_mac(&k1, &msg);
+        prop_assert_eq!(t1.as_u64() >> 56, 0);
+        // Distinct keys should disagree (56-bit collision chance ~2^-56).
+        prop_assert_ne!(t1, message_mac(&k2, &msg));
+    }
+
+    /// line_mac is deterministic.
+    #[test]
+    fn line_mac_deterministic(seed in any::<u64>(), data in any::<[u8; 32]>(), pa in any::<u64>(), vn in any::<u64>()) {
+        let key = MacKey(Key::from_seed(seed).0);
+        let mut line = [0u8; LINE_BYTES];
+        line[..32].copy_from_slice(&data);
+        prop_assert_eq!(line_mac(&key, &line, pa, vn), line_mac(&key, &line, pa, vn));
+    }
+
+    /// Merkle root changes for every distinct single-leaf update.
+    #[test]
+    fn merkle_root_sensitivity(leaves in 2usize..200, idx in any::<proptest::sample::Index>()) {
+        let mut t = VnMerkleTree::new(leaves, MacKey([9; 16]));
+        let root0 = t.root();
+        let i = idx.index(leaves);
+        t.increment(i);
+        prop_assert_ne!(t.root(), root0);
+        prop_assert!(t.verify(i).is_ok());
+    }
+
+    /// Merkle interior corruption is detected for leaves in that subtree.
+    #[test]
+    fn merkle_interior_corruption(group in 0usize..8) {
+        let mut t = VnMerkleTree::new(512, MacKey([3; 16])); // 3 levels
+        t.corrupt_node(0, group);
+        let leaf = group * 8;
+        prop_assert!(t.verify(leaf).is_err());
+    }
+
+    /// DH public values are never the secret itself for nontrivial secrets.
+    #[test]
+    fn dh_public_hides_secret(s in 2u64..(1 << 60)) {
+        let kp = DhKeyPair::from_secret(s);
+        prop_assert_ne!(kp.public(), s);
+    }
+
+    /// Key derivation is injective across labels (sampled).
+    #[test]
+    fn key_derivation_label_separation(seed in any::<u64>()) {
+        let k = Key::from_seed(seed);
+        let labels = ["enc", "mac", "meta-enc", "meta-mac", "report", "measure"];
+        for (i, a) in labels.iter().enumerate() {
+            for b in labels.iter().skip(i + 1) {
+                prop_assert_ne!(k.derive(a), k.derive(b), "{} vs {}", a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # tee-mem
+//!
+//! The memory substrate shared by the CPU and NPU simulators:
+//!
+//! * [`addr`] — virtual→physical page mapping. Pages are deliberately
+//!   scattered (Figure 9): physical-address streams are *not* contiguous
+//!   across page boundaries, which is why TenAnalyzer must observe virtual
+//!   addresses.
+//! * [`store`] — the functional backing store ("off-chip DRAM image")
+//!   holding ciphertext at rest, with adversarial tamper/replay hooks used
+//!   by the security tests.
+//! * [`cache`] — set-associative write-back caches with LRU replacement
+//!   and a composable [`cache::CacheHierarchy`] (L1/L2 private, L3 shared)
+//!   matching Table 1.
+//! * [`dram`] — DRAM channel/bank timing (row-buffer hits vs. conflicts,
+//!   per-channel data-bus occupancy) for DDR4-2400 (CPU) and GDDR5 (NPU).
+//! * [`mc`] — the memory-controller front end: PA→channel interleaving and
+//!   request scheduling on top of [`dram`].
+//! * [`metadata`] — the small on-chip metadata cache (32 KB, Table 1) that
+//!   the SGX-like MEE uses for VNs/MACs/Merkle nodes.
+
+pub mod addr;
+pub mod cache;
+pub mod dram;
+pub mod mc;
+pub mod metadata;
+pub mod store;
+
+pub use addr::{PageMapper, PAGE_BYTES};
+pub use cache::{Cache, CacheConfig, CacheHierarchy, HierarchyConfig};
+pub use dram::{DramConfig, DramModel};
+pub use mc::MemoryController;
+pub use metadata::MetadataCache;
+pub use store::PhysMem;
+
+/// Cacheline size used throughout (64 B, Table 1).
+pub const LINE_BYTES: u64 = 64;

@@ -1,0 +1,43 @@
+//! # tee-sim
+//!
+//! Event-driven cycle-simulation kernel shared by every simulator in the
+//! TensorTEE reproduction (CPU cache/MEE model, NPU pipeline model, PCIe
+//! link model).
+//!
+//! The crate deliberately contains no domain knowledge: it provides
+//!
+//! * [`Time`] — a picosecond-resolution simulated timestamp, so that clock
+//!   domains with different frequencies (3.5 GHz CPU, 1 GHz NPU, PCIe link)
+//!   can be composed on one timeline,
+//! * [`ClockDomain`] — cycle ↔ time conversion for one frequency,
+//! * [`EventQueue`] — a deterministic discrete-event queue,
+//! * [`BandwidthResource`] / [`ThroughputPipe`] — contention models for
+//!   shared resources such as AES engines, DRAM channels and PCIe lanes,
+//! * [`stats`] — counters/histograms used for every reported figure,
+//! * [`rng`] — a small deterministic PRNG so simulations are reproducible
+//!   without threading `rand` state through every component.
+//!
+//! ## Example
+//!
+//! ```
+//! use tee_sim::{ClockDomain, Time};
+//!
+//! let cpu = ClockDomain::from_ghz(3.5);
+//! let t = cpu.cycles_to_time(35);
+//! assert_eq!(t, Time::from_ns(10));
+//! assert_eq!(cpu.time_to_cycles(t), 35);
+//! ```
+
+pub mod bandwidth;
+pub mod clock;
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod trace;
+pub mod util;
+
+pub use bandwidth::{BandwidthResource, ThroughputPipe};
+pub use clock::{ClockDomain, Time};
+pub use event::EventQueue;
+pub use rng::SplitMix64;
+pub use stats::{Counter, Histogram, StatSet};

@@ -1,0 +1,326 @@
+//! Simulation statistics: counters, ratios and histograms.
+//!
+//! Every figure in the paper is regenerated from these primitives, so they
+//! favour exactness (integer counters) over sampling.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// use tee_sim::Counter;
+/// let mut hits = Counter::default();
+/// hits.add(3);
+/// hits.incr();
+/// assert_eq!(hits.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Adds one event.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+
+    /// This counter as a fraction of `total` (0.0 when `total` is zero).
+    pub fn fraction_of(&self, total: u64) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            self.0 as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A streaming histogram over `u64` samples with exact mean/min/max and
+/// power-of-two bucket counts for distribution summaries.
+///
+/// # Example
+///
+/// ```
+/// use tee_sim::Histogram;
+/// let mut h = Histogram::new();
+/// for v in [1u64, 2, 3, 4] { h.record(v); }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.mean(), 2.5);
+/// assert_eq!(h.min(), Some(1));
+/// assert_eq!(h.max(), Some(4));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    count: u64,
+    sum: u128,
+    min: Option<u64>,
+    max: Option<u64>,
+    /// bucket index = floor(log2(sample+1)); bucket 0 holds sample 0.
+    buckets: BTreeMap<u32, u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = Some(self.min.map_or(v, |m| m.min(v)));
+        self.max = Some(self.max.map_or(v, |m| m.max(v)));
+        let idx = if v == 0 { 0 } else { 64 - v.leading_zeros() };
+        *self.buckets.entry(idx).or_insert(0) += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        self.min
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        self.max
+    }
+
+    /// Iterates `(bucket_floor, count)` pairs in ascending order, where
+    /// `bucket_floor` is the smallest sample value that maps to the bucket.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().map(|(&idx, &n)| {
+            let floor = if idx == 0 { 0 } else { 1u64 << (idx - 1) };
+            (floor, n)
+        })
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        for (&k, &v) in &other.buckets {
+            *self.buckets.entry(k).or_insert(0) += v;
+        }
+    }
+}
+
+/// A named bundle of counters, used by simulators to expose their
+/// occupancy/hit statistics without a fixed schema.
+///
+/// # Example
+///
+/// ```
+/// use tee_sim::StatSet;
+/// let mut s = StatSet::new("meta_table");
+/// s.bump("hit_in");
+/// s.bump("hit_in");
+/// s.bump("miss");
+/// assert_eq!(s.get("hit_in"), 2);
+/// assert_eq!(s.get("absent"), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StatSet {
+    name: String,
+    counters: BTreeMap<String, Counter>,
+}
+
+impl StatSet {
+    /// Creates an empty set with a diagnostic name.
+    pub fn new(name: impl Into<String>) -> Self {
+        StatSet {
+            name: name.into(),
+            counters: BTreeMap::new(),
+        }
+    }
+
+    /// The set's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds one to the named counter, creating it if absent.
+    pub fn bump(&mut self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Adds `n` to the named counter, creating it if absent.
+    pub fn add(&mut self, key: &str, n: u64) {
+        self.counters.entry(key.to_owned()).or_default().add(n);
+    }
+
+    /// Reads a counter (0 when absent).
+    pub fn get(&self, key: &str) -> u64 {
+        self.counters.get(key).map_or(0, Counter::get)
+    }
+
+    /// `numerator / (numerator + complement)`; 0.0 when both are zero.
+    pub fn ratio(&self, numerator: &str, complement: &str) -> f64 {
+        let n = self.get(numerator);
+        let d = n + self.get(complement);
+        if d == 0 {
+            0.0
+        } else {
+            n as f64 / d as f64
+        }
+    }
+
+    /// Iterates `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (k.as_str(), v.get()))
+    }
+
+    /// Resets every counter to zero (names are kept).
+    pub fn reset(&mut self) {
+        for v in self.counters.values_mut() {
+            v.reset();
+        }
+    }
+}
+
+impl fmt::Display for StatSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{{", self.name)?;
+        let mut first = true;
+        for (k, v) in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{k}: {v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_fraction() {
+        let mut c = Counter::new();
+        c.add(25);
+        assert_eq!(c.fraction_of(100), 0.25);
+        assert_eq!(c.fraction_of(0), 0.0);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 60);
+        assert_eq!(h.mean(), 20.0);
+        assert_eq!((h.min(), h.max()), (Some(10), Some(30)));
+    }
+
+    #[test]
+    fn histogram_bucket_floors() {
+        let mut h = Histogram::new();
+        h.record(0); // bucket 0, floor 0
+        h.record(1); // bitlen 1, floor 1
+        h.record(2); // bitlen 2, floor 2
+        h.record(7); // bitlen 3, floor 4
+        let floors: Vec<u64> = h.buckets().map(|(f, _)| f).collect();
+        assert_eq!(floors, vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        a.record(5);
+        let mut b = Histogram::new();
+        b.record(15);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!((a.min(), a.max()), (Some(5), Some(15)));
+    }
+
+    #[test]
+    fn statset_ratio() {
+        let mut s = StatSet::new("t");
+        s.add("hit", 80);
+        s.add("miss", 20);
+        assert_eq!(s.ratio("hit", "miss"), 0.8);
+        assert_eq!(s.ratio("nope", "also_nope"), 0.0);
+    }
+
+    #[test]
+    fn statset_reset_keeps_names() {
+        let mut s = StatSet::new("t");
+        s.bump("x");
+        s.reset();
+        assert_eq!(s.get("x"), 0);
+        assert_eq!(s.iter().count(), 1);
+    }
+
+    #[test]
+    fn statset_display_nonempty() {
+        let mut s = StatSet::new("mee");
+        s.bump("reads");
+        let shown = s.to_string();
+        assert!(shown.contains("mee"));
+        assert!(shown.contains("reads: 1"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Formatting and alignment helpers shared across the workspace.
+
+/// Rounds `x` up to the next multiple of `align`.
+///
+/// # Panics
+///
+/// Panics if `align` is zero.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(tee_sim::util::align_up(100, 64), 128);
+/// assert_eq!(tee_sim::util::align_up(128, 64), 128);
+/// ```
+pub fn align_up(x: u64, align: u64) -> u64 {
+    assert!(align > 0, "alignment must be positive");
+    x.div_ceil(align) * align
+}
+
+/// Rounds `x` down to a multiple of `align`.
+///
+/// # Panics
+///
+/// Panics if `align` is zero.
+pub fn align_down(x: u64, align: u64) -> u64 {
+    assert!(align > 0, "alignment must be positive");
+    (x / align) * align
+}
+
+/// Integer ceil-division.
+pub fn ceil_div(a: u64, b: u64) -> u64 {
+    a.div_ceil(b)
+}
+
+/// Formats a byte count with binary units ("1.5 MiB").
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(tee_sim::util::fmt_bytes(1536 * 1024), "1.50 MiB");
+/// assert_eq!(tee_sim::util::fmt_bytes(42), "42 B");
+/// ```
+pub fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 6] = ["B", "KiB", "MiB", "GiB", "TiB", "PiB"];
+    if bytes < 1024 {
+        return format!("{bytes} B");
+    }
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    format!("{v:.2} {}", UNITS[unit])
+}
+
+/// Formats a throughput in bytes/second with decimal units ("12.8 GB/s").
+pub fn fmt_bandwidth(bytes_per_sec: f64) -> String {
+    const UNITS: [&str; 5] = ["B/s", "KB/s", "MB/s", "GB/s", "TB/s"];
+    let mut v = bytes_per_sec;
+    let mut unit = 0;
+    while v >= 1000.0 && unit < UNITS.len() - 1 {
+        v /= 1000.0;
+        unit += 1;
+    }
+    format!("{v:.2} {}", UNITS[unit])
+}
+
+/// Formats a ratio as a percentage string ("12.3%").
+pub fn fmt_pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Geometric mean of a slice (1.0 for an empty slice).
+///
+/// # Panics
+///
+/// Panics if any element is non-positive.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geomean requires positive values, got {x}");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_up_cases() {
+        assert_eq!(align_up(0, 64), 0);
+        assert_eq!(align_up(1, 64), 64);
+        assert_eq!(align_up(64, 64), 64);
+        assert_eq!(align_up(65, 64), 128);
+    }
+
+    #[test]
+    fn align_down_cases() {
+        assert_eq!(align_down(0, 64), 0);
+        assert_eq!(align_down(63, 64), 0);
+        assert_eq!(align_down(64, 64), 64);
+        assert_eq!(align_down(130, 64), 128);
+    }
+
+    #[test]
+    fn ceil_div_cases() {
+        assert_eq!(ceil_div(10, 3), 4);
+        assert_eq!(ceil_div(9, 3), 3);
+        assert_eq!(ceil_div(0, 3), 0);
+    }
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(fmt_bytes(0), "0 B");
+        assert_eq!(fmt_bytes(1023), "1023 B");
+        assert_eq!(fmt_bytes(1024), "1.00 KiB");
+        assert_eq!(fmt_bytes(1 << 30), "1.00 GiB");
+    }
+
+    #[test]
+    fn bandwidth_formatting() {
+        assert_eq!(fmt_bandwidth(128.0e9), "128.00 GB/s");
+        assert_eq!(fmt_bandwidth(500.0), "500.00 B/s");
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(fmt_pct(0.021), "2.1%");
+    }
+
+    #[test]
+    fn geomean_values() {
+        assert_eq!(geomean(&[]), 1.0);
+        assert!((geomean(&[4.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn geomean_rejects_nonpositive() {
+        geomean(&[1.0, 0.0]);
+    }
+}

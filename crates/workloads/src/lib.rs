@@ -1,0 +1,23 @@
+//! # tee-workloads
+//!
+//! LLM training workloads for the evaluation study:
+//!
+//! * [`zoo`] — the twelve Table-2 models (GPT 117M … OPT-6.7B) with their
+//!   batch sizes and architectural shapes,
+//! * [`census`] — the Figure-4 tensor census (optimizer-state tensor
+//!   counts and sizes per model),
+//! * [`layers`] — per-step NPU layer specifications (forward + backward
+//!   GEMMs and element-wise work),
+//! * [`zero_offload`] — the ZeRO-Offload step schedule of Figure 1
+//!   (NPU fwd/bwd → fp32 gradient transfer → CPU Adam → fp16 weight
+//!   transfer).
+
+pub mod census;
+pub mod layers;
+pub mod zero_offload;
+pub mod zoo;
+
+pub use census::TensorCensus;
+pub use layers::LayerSpec;
+pub use zero_offload::StepSchedule;
+pub use zoo::{ModelConfig, TABLE2};

@@ -1,0 +1,40 @@
+//! End-to-end secure LLM training sweep: every Table-2 model under all
+//! three configurations, reproducing the Figure-16 comparison, plus the
+//! Figure-17 phase breakdown for a chosen model.
+//!
+//! ```sh
+//! cargo run --release --example llm_training [model-name]
+//! ```
+
+use tensortee::experiments::{fig16_overall, fig17_breakdown};
+use tensortee::SystemConfig;
+use tee_workloads::zoo::{by_name, TABLE2};
+
+fn main() {
+    let cfg = SystemConfig::default();
+    let arg = std::env::args().nth(1);
+
+    match arg {
+        Some(name) => {
+            let model = by_name(&name).unwrap_or_else(|| {
+                eprintln!(
+                    "unknown model {name:?}; available: {}",
+                    TABLE2
+                        .iter()
+                        .map(|m| m.name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                std::process::exit(1);
+            });
+            println!("Phase breakdown for {} (Figure 17):\n", model.name);
+            println!("{}", fig17_breakdown(&cfg, &[model]));
+        }
+        None => {
+            println!("Overall performance across the Table-2 zoo (Figure 16).");
+            println!("This runs 12 models x 3 configurations; expect a few minutes.\n");
+            let (_, md) = fig16_overall(&cfg, &TABLE2);
+            println!("{md}");
+        }
+    }
+}

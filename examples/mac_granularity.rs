@@ -1,0 +1,39 @@
+//! NPU MAC-granularity exploration (Figure 20): sweep the protected block
+//! size from 64 B to 4 KB and compare against TensorTEE's per-tensor MAC
+//! with delayed verification.
+//!
+//! ```sh
+//! cargo run --release --example mac_granularity
+//! ```
+
+use tensortee::experiments::fig20_mac_granularity;
+use tensortee::SystemConfig;
+
+fn main() {
+    let cfg = SystemConfig::default();
+    println!("NPU MAC granularity sweep (Figure 20), GPT2-M layer mix:\n");
+    let (rows, md) = fig20_mac_granularity(&cfg);
+    println!("{md}");
+    let best_block = rows
+        .iter()
+        .filter(|r| r.label != "tensor-delayed")
+        .min_by(|a, b| a.slowdown.total_cmp(&b.slowdown))
+        .expect("non-empty sweep");
+    let ours = rows
+        .iter()
+        .find(|r| r.label == "tensor-delayed")
+        .expect("tensor scheme present");
+    println!(
+        "Best fixed granularity: {} at {:.3}x slowdown with {:.1}% storage overhead.",
+        best_block.label,
+        best_block.slowdown,
+        best_block.storage * 100.0
+    );
+    println!(
+        "TensorTEE delayed verification: {:.3}x slowdown with ~zero off-chip storage.",
+        ours.slowdown
+    );
+    println!("\nShape to expect (paper §6.3): fine granularity pays extra traffic,");
+    println!("coarse granularity pays verification stalls (13% at 4 KB in the paper),");
+    println!("and the per-tensor delayed scheme sits near the non-secure baseline (2.5%).");
+}

@@ -1,0 +1,51 @@
+//! Quickstart: simulate one secure ZeRO-Offload training step of GPT2-M
+//! under all three configurations and print the comparison.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tensortee::{SecureMode, SystemConfig, TrainingSystem};
+use tee_workloads::zoo::by_name;
+
+fn main() {
+    let cfg = SystemConfig::default();
+    println!("TensorTEE quickstart — Table 1 configuration:\n");
+    println!("{}\n", cfg.table1_markdown());
+
+    let model = by_name("GPT2-M").expect("Table-2 model");
+    println!(
+        "Model: {} ({} params nominal, batch {})\n",
+        model.name, model.nominal_params, model.batch_size
+    );
+
+    let mut reference = None;
+    for mode in SecureMode::all() {
+        let mut system = TrainingSystem::new(cfg.clone(), mode);
+        let step = system.simulate_step(&model);
+        let total = step.total();
+        let (npu, cpu, w, g) = step.fractions();
+        let vs = match reference {
+            None => {
+                reference = Some(total);
+                String::from("(reference)")
+            }
+            Some(r) => format!(
+                "({:.2}x non-secure)",
+                total.as_secs_f64() / r.as_secs_f64()
+            ),
+        };
+        println!(
+            "{:<11} latency/batch = {:<12} {}\n             breakdown: NPU {:.1}% | CPU {:.1}% | comm W {:.1}% | comm G {:.1}%",
+            mode.label(),
+            total.to_string(),
+            vs,
+            npu * 100.0,
+            cpu * 100.0,
+            w * 100.0,
+            g * 100.0,
+        );
+    }
+    println!("\nExpected shape (paper §6.1): SGX+MGX several times slower than");
+    println!("non-secure, TensorTEE within a few percent of non-secure.");
+}

@@ -1,0 +1,8 @@
+//! Root package of the TensorTEE reproduction workspace.
+//!
+//! The library surface lives in the [`tensortee`] crate and its substrate
+//! crates (`tee-sim`, `tee-crypto`, `tee-mem`, `tee-cpu`, `tee-npu`,
+//! `tee-comm`, `tee-workloads`). This root package exists to host the
+//! runnable `examples/` and the cross-crate integration tests in `tests/`.
+
+pub use tensortee;
