@@ -8,9 +8,9 @@ use tee_comm::protocol::StagingProtocol;
 use tee_cpu::analyzer::TenAnalyzerConfig;
 use tee_cpu::{CpuEngine, TeeMode};
 use tee_sim::Time;
+use tee_workloads::zoo::TABLE2;
 use tensortee::experiments::bench_adam_workload;
 use tensortee::SystemConfig;
-use tee_workloads::zoo::TABLE2;
 
 fn meta_table_capacity_sweep(cfg: &SystemConfig) {
     banner(

@@ -3,9 +3,9 @@
 use criterion::black_box;
 use tee_bench::{banner, criterion_quick};
 use tee_cpu::{CpuEngine, TeeMode};
+use tee_workloads::zoo::TABLE2;
 use tensortee::experiments::{bench_adam_workload, fig03_cpu_slowdown};
 use tensortee::SystemConfig;
-use tee_workloads::zoo::TABLE2;
 
 fn main() {
     let cfg = SystemConfig::default();

@@ -4,8 +4,8 @@ use criterion::black_box;
 use tee_bench::{banner, criterion_quick};
 use tee_comm::protocol::{DirectProtocol, StagingProtocol};
 use tee_sim::Time;
-use tensortee::experiments::fig15_overlap;
 use tee_workloads::zoo::TABLE2;
+use tensortee::experiments::fig15_overlap;
 
 fn main() {
     banner(

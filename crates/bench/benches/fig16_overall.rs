@@ -2,9 +2,9 @@
 
 use criterion::black_box;
 use tee_bench::{banner, criterion_quick};
+use tee_workloads::zoo::TABLE2;
 use tensortee::experiments::fig16_overall;
 use tensortee::{SecureMode, SystemConfig, TrainingSystem};
-use tee_workloads::zoo::TABLE2;
 
 fn main() {
     let cfg = SystemConfig::default();

@@ -4,9 +4,9 @@ use criterion::black_box;
 use tee_bench::{banner, criterion_quick};
 use tee_comm::protocol::StagingProtocol;
 use tee_sim::Time;
+use tee_workloads::zoo::TABLE2;
 use tensortee::experiments::fig21_comm_breakdown;
 use tensortee::SystemConfig;
-use tee_workloads::zoo::TABLE2;
 
 fn main() {
     let cfg = SystemConfig::default();

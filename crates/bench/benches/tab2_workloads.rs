@@ -6,8 +6,13 @@ use tee_workloads::zoo::TABLE2;
 use tee_workloads::StepSchedule;
 
 fn print_table2() {
-    banner("Table 2 — Workloads and Parameters", "12 models, 117M–6.7B params");
-    eprintln!("| model | # params (nominal) | # params (modeled) | batch | layers | hidden | seq |");
+    banner(
+        "Table 2 — Workloads and Parameters",
+        "12 models, 117M–6.7B params",
+    );
+    eprintln!(
+        "| model | # params (nominal) | # params (modeled) | batch | layers | hidden | seq |"
+    );
     eprintln!("|---|---|---|---|---|---|---|");
     for m in TABLE2 {
         eprintln!(

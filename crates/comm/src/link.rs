@@ -1,6 +1,5 @@
 //! Interconnect hardware models: the PCIe bus and AES engines.
 
-
 use tee_sim::{BandwidthResource, Time};
 
 /// A PCIe link direction (Table 1: PCIe 4.0 ×16, ~32 GB/s per direction

@@ -9,6 +9,10 @@ use tee_crypto::Key;
 use tee_sim::Time;
 
 proptest! {
+    // Shared CI configuration: deterministic per-test seeds, bounded case
+    // count, both overridable via PROPTEST_CASES / PROPTEST_RNG_SEED when
+    // replaying a regression (see proptest-regressions/README.md).
+    #![proptest_config(ProptestConfig::ci())]
     /// Sealed metadata round-trips for any content and sequence number.
     #[test]
     fn seal_open_round_trip(seed in any::<u64>(), base in any::<u64>(),

@@ -144,7 +144,12 @@ pub fn fig15_overlap(grad_bytes: u64, bwd: Time) -> String {
     let mut base = Timeline::new();
     base.push(0, "backward", Time::ZERO, bwd);
     base.push(1, "re-enc", bwd, bwd + staged.re_encryption);
-    base.push(1, "comm", bwd + staged.re_encryption, bwd + staged.re_encryption + staged.comm);
+    base.push(
+        1,
+        "comm",
+        bwd + staged.re_encryption,
+        bwd + staged.re_encryption + staged.comm,
+    );
     base.push(
         1,
         "dec",
@@ -405,7 +410,11 @@ pub fn fig20_mac_granularity(cfg: &SystemConfig) -> (Vec<Fig20Row>, String) {
         .collect();
     let mut table = Table::new(["MAC granularity", "slowdown", "storage overhead"]);
     for r in &rows {
-        table.row([r.label.clone(), format!("{:.3}x", r.slowdown), pct(r.storage)]);
+        table.row([
+            r.label.clone(),
+            format!("{:.3}x", r.slowdown),
+            pct(r.storage),
+        ]);
     }
     (rows, table.to_markdown())
 }
@@ -463,8 +472,7 @@ pub fn fig21_comm_breakdown(cfg: &SystemConfig, models: &[ModelConfig]) -> (Vec<
                 base_comm: staged.comm,
                 base_dec: staged.decryption,
                 ours_comm: direct.comm,
-                ours_exposed: direct.comm.saturating_sub(bwd_window)
-                    + Time::from_ns(600), // residual sync latency
+                ours_exposed: direct.comm.saturating_sub(bwd_window) + Time::from_ns(600), // residual sync latency
             }
         })
         .collect();
@@ -488,8 +496,7 @@ pub fn fig21_comm_breakdown(cfg: &SystemConfig, models: &[ModelConfig]) -> (Vec<
             format!("{:.1}x", r.improvement()),
         ]);
     }
-    let avg: f64 =
-        rows.iter().map(Fig21Row::improvement).sum::<f64>() / rows.len().max(1) as f64;
+    let avg: f64 = rows.iter().map(Fig21Row::improvement).sum::<f64>() / rows.len().max(1) as f64;
     let md = format!(
         "{}\nAverage communication improvement: {avg:.1}x (paper: 18.7x)\n",
         table.to_markdown()

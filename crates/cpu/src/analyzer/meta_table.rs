@@ -134,9 +134,7 @@ impl MetaEntry {
             Shape::OneD { lines, stride } => Some(self.base + lines * stride),
             Shape::TwoD {
                 row_lines, pitch, ..
-            } if row_lines * LINE_BYTES < pitch => {
-                Some(self.base + row_lines * LINE_BYTES)
-            }
+            } if row_lines * LINE_BYTES < pitch => Some(self.base + row_lines * LINE_BYTES),
             Shape::TwoD { .. } => None,
         }
     }
@@ -376,9 +374,10 @@ impl MetaTable {
                         rows,
                     } => (1..rows).any(|r| {
                         let line = e.base + r * pitch + row_lines * LINE_BYTES;
-                        self.slots.iter().enumerate().any(|(i, s)| {
-                            i != slot && s.as_ref().is_some_and(|o| o.contains(line))
-                        })
+                        self.slots
+                            .iter()
+                            .enumerate()
+                            .any(|(i, s)| i != slot && s.as_ref().is_some_and(|o| o.contains(line)))
                     }),
                     Shape::OneD { .. } => false,
                 },
@@ -443,7 +442,10 @@ impl MetaTable {
             if std::env::var_os("TT_DEBUG_VIOLATIONS").is_some() {
                 eprintln!(
                     "assert1: va={va:#x} base={:#x} lines={} flipped={} updating={}",
-                    e.base, e.line_count(), e.flipped.len(), e.updating
+                    e.base,
+                    e.line_count(),
+                    e.flipped.len(),
+                    e.updating
                 );
             }
             self.stats.bump("write_violation");
@@ -649,11 +651,7 @@ fn try_merge(a: &MetaEntry, b: &MetaEntry, allow_inference: bool) -> Option<Meta
             }
             // 1D + 1D as two rows of a tile (equal length, non-adjacent):
             // infer the pitch (Figure 11b).
-            if allow_inference
-                && la == lb
-                && la <= MAX_INFERENCE_ROW_LINES
-                && sa == LINE_BYTES
-            {
+            if allow_inference && la == lb && la <= MAX_INFERENCE_ROW_LINES && sa == LINE_BYTES {
                 let (lo, hi) = if a.base < b.base { (a, b) } else { (b, a) };
                 let pitch = hi.base - lo.base;
                 let span = la * sa;
@@ -677,9 +675,7 @@ fn try_merge(a: &MetaEntry, b: &MetaEntry, allow_inference: bool) -> Option<Meta
                 rows,
             },
             Shape::OneD { lines, stride },
-        ) if stride == LINE_BYTES && lines == row_lines => {
-            merge_row(a, b, row_lines, pitch, rows)
-        }
+        ) if stride == LINE_BYTES && lines == row_lines => merge_row(a, b, row_lines, pitch, rows),
         (
             Shape::OneD { lines, stride },
             Shape::TwoD {
@@ -687,9 +683,7 @@ fn try_merge(a: &MetaEntry, b: &MetaEntry, allow_inference: bool) -> Option<Meta
                 pitch,
                 rows,
             },
-        ) if stride == LINE_BYTES && lines == row_lines => {
-            merge_row(b, a, row_lines, pitch, rows)
-        }
+        ) if stride == LINE_BYTES && lines == row_lines => merge_row(b, a, row_lines, pitch, rows),
         // 2D + 2D: stacked vertically or side-by-side horizontally
         // (the "4 directions for 2D tensors" of Figure 11).
         (
@@ -788,7 +782,10 @@ mod tests {
         }
         assert!(matches!(t.lookup_read(256), ReadLookup::HitBoundary { .. }));
         assert!(matches!(t.lookup_read(512), ReadLookup::Miss));
-        assert!(matches!(t.lookup_read(32), ReadLookup::Miss), "unaligned offset");
+        assert!(
+            matches!(t.lookup_read(32), ReadLookup::Miss),
+            "unaligned offset"
+        );
     }
 
     #[test]
@@ -821,7 +818,10 @@ mod tests {
             t.lookup_write(0),
             WriteLookup::HitEdgeStart { vn: 1, .. }
         ));
-        assert!(matches!(t.lookup_write(64), WriteLookup::HitIn { vn: 1, .. }));
+        assert!(matches!(
+            t.lookup_write(64),
+            WriteLookup::HitIn { vn: 1, .. }
+        ));
         assert!(matches!(t.lookup_write(128), WriteLookup::HitIn { .. }));
         match t.lookup_write(192) {
             WriteLookup::HitEdgeFinish { vn, .. } => assert_eq!(vn, 1),
@@ -998,7 +998,10 @@ mod tests {
         let mut t = MetaTable::new(4);
         let d = TensorDesc::new_2d(0, 2, 128, 512);
         t.insert(MetaEntry::from_desc(&d, 0));
-        assert!(matches!(t.lookup_write(0), WriteLookup::HitEdgeStart { .. }));
+        assert!(matches!(
+            t.lookup_write(0),
+            WriteLookup::HitEdgeStart { .. }
+        ));
         assert!(matches!(t.lookup_write(64), WriteLookup::HitIn { .. }));
         assert!(matches!(t.lookup_write(512), WriteLookup::HitIn { .. }));
         assert!(matches!(

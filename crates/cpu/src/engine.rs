@@ -23,7 +23,7 @@ use tee_mem::cache::{CacheHierarchy, HitLevel};
 use tee_mem::mc::RequestClass;
 use tee_mem::store::LineData;
 use tee_mem::{MemoryController, PageMapper, PhysMem, LINE_BYTES};
-use tee_sim::{Time};
+use tee_sim::Time;
 
 /// Which TEE scheme the engine runs under.
 #[derive(Debug, Clone)]
@@ -351,7 +351,9 @@ impl CpuEngine {
                     None => VnPath::OffChip,
                 };
                 let at = at + self.cfg.cycles(lookup_cycles);
-                let op = self.mee.read_line(pa, path, at, &mut self.mc, &mut self.mem);
+                let op = self
+                    .mee
+                    .read_line(pa, path, at, &mut self.mc, &mut self.mem);
                 self.record_integrity(op.integrity);
                 op.done
             }
@@ -419,8 +421,14 @@ impl CpuEngine {
                 self.mc.request(wb_pa, RequestClass::Demand, at);
             }
             TeeMode::Sgx => {
-                self.mee
-                    .write_line(wb_pa, data_opt, VnPath::OffChip, at, &mut self.mc, &mut self.mem);
+                self.mee.write_line(
+                    wb_pa,
+                    data_opt,
+                    VnPath::OffChip,
+                    at,
+                    &mut self.mc,
+                    &mut self.mem,
+                );
             }
             TeeMode::SoftVn(_) => {
                 let path = match self.softvn.as_mut().expect("softvn mode").write_vn(va) {
@@ -539,8 +547,7 @@ impl CpuEngine {
                         self.access(th as u32, &mut ctx, m, false);
                         self.access(th as u32, &mut ctx, v, false);
                         let elems = (LINE_BYTES / 4) as f64;
-                        let compute =
-                            (elems * self.cfg.adam_cycles_per_element).round() as u64;
+                        let compute = (elems * self.cfg.adam_cycles_per_element).round() as u64;
                         ctx.t += self.cfg.cycles(compute);
                         self.access(th as u32, &mut ctx, w, true);
                         self.access(th as u32, &mut ctx, m, true);
@@ -671,10 +678,7 @@ mod tests {
         let mut sgx = CpuEngine::new(small_cfg(false), TeeMode::Sgx);
         let t_ns = ns.run_adam(&w, 4, 2).steady_latency(0);
         let t_sgx = sgx.run_adam(&w, 4, 2).steady_latency(0);
-        assert!(
-            t_sgx > t_ns,
-            "sgx {t_sgx} should exceed non-secure {t_ns}"
-        );
+        assert!(t_sgx > t_ns, "sgx {t_sgx} should exceed non-secure {t_ns}");
     }
 
     #[test]
@@ -687,7 +691,11 @@ mod tests {
         let rep = tt.run_adam(&w, 2, 6);
         let first = rep.iterations.first().unwrap();
         let last = rep.iterations.last().unwrap();
-        assert!(last.hit_in_rate() > 0.8, "late hit_in {}", last.hit_in_rate());
+        assert!(
+            last.hit_in_rate() > 0.8,
+            "late hit_in {}",
+            last.hit_in_rate()
+        );
         assert!(
             last.hit_in_rate() > first.hit_in_rate(),
             "hit rate should improve: {} -> {}",
@@ -706,10 +714,7 @@ mod tests {
         );
         let t_sgx = sgx.run_adam(&w, 4, 6).steady_latency(3);
         let t_tt = tt.run_adam(&w, 4, 6).steady_latency(3);
-        assert!(
-            t_tt < t_sgx,
-            "tensortee {t_tt} should beat sgx {t_sgx}"
-        );
+        assert!(t_tt < t_sgx, "tensortee {t_tt} should beat sgx {t_sgx}");
     }
 
     #[test]
@@ -739,7 +744,8 @@ mod tests {
         );
         let rep = tt.run_adam(&w, 2, 4);
         assert_eq!(
-            rep.integrity_errors, 0,
+            rep.integrity_errors,
+            0,
             "clean run must verify: {:?}",
             tt.last_integrity_error()
         );
@@ -756,10 +762,7 @@ mod tests {
     #[test]
     fn functional_softvn_run_verifies_clean() {
         let w = AdamWorkload::synthetic(1, 4 << 10);
-        let mut sv = CpuEngine::new(
-            small_cfg(true),
-            TeeMode::SoftVn(SoftVnConfig::default()),
-        );
+        let mut sv = CpuEngine::new(small_cfg(true), TeeMode::SoftVn(SoftVnConfig::default()));
         let rep = sv.run_adam(&w, 2, 3);
         assert_eq!(rep.integrity_errors, 0, "{:?}", sv.last_integrity_error());
     }

@@ -52,8 +52,8 @@ impl AdamWorkload {
         assert!(!sizes.is_empty(), "workload needs at least one tensor");
         let region_gap: u64 = 1 << 36; // regions far apart
         let bases = [
-            0x0100_0000_0000u64,              // w
-            0x0100_0000_0000 + region_gap,    // g
+            0x0100_0000_0000u64,               // w
+            0x0100_0000_0000 + region_gap,     // g
             0x0100_0000_0000 + 2 * region_gap, // m
             0x0100_0000_0000 + 3 * region_gap, // v
         ];
@@ -103,12 +103,7 @@ impl AdamWorkload {
             let last = pick(self.tensors.last().expect("non-empty workload"));
             TensorDesc::new_1d(first.base, last.end() - first.base)
         };
-        [
-            span(|s| s.w),
-            span(|s| s.g),
-            span(|s| s.m),
-            span(|s| s.v),
-        ]
+        [span(|s| s.w), span(|s| s.g), span(|s| s.m), span(|s| s.v)]
     }
 
     /// Partitions the workload across `threads` workers: every tensor is
@@ -167,7 +162,10 @@ impl GemmWorkload {
     /// cachelines.
     pub fn new(n: u64, tile: u64) -> Self {
         assert!(n.is_multiple_of(tile), "tile must divide n");
-        assert!((tile * Self::ELEM).is_multiple_of(LINE_BYTES), "tile rows must be line-multiple");
+        assert!(
+            (tile * Self::ELEM).is_multiple_of(LINE_BYTES),
+            "tile rows must be line-multiple"
+        );
         let bytes = n * n * Self::ELEM;
         let a_base = 0x0002_0000_0000;
         let b_base = align_up(a_base + bytes, 4096) + 4096;

@@ -284,7 +284,13 @@ impl SgxMee {
     }
 
     /// Fetches/updates the MAC metadata line; returns completion.
-    fn mac_access(&mut self, leaf: usize, at: Time, mc: &mut MemoryController, write: bool) -> Time {
+    fn mac_access(
+        &mut self,
+        leaf: usize,
+        at: Time,
+        mc: &mut MemoryController,
+        write: bool,
+    ) -> Time {
         let hit = if write {
             self.meta_cache.update(MetaKind::Mac, leaf as u64)
         } else {
@@ -319,9 +325,9 @@ impl SgxMee {
                 let (vn, res) = match &self.tree {
                     Some(tree) => (
                         tree.vn(leaf),
-                        tree.verify(leaf).map(|_| ()).map_err(|v| {
-                            IntegrityError::MerkleViolation { level: v.level }
-                        }),
+                        tree.verify(leaf)
+                            .map(|_| ())
+                            .map_err(|v| IntegrityError::MerkleViolation { level: v.level }),
                     ),
                     None => (0, Ok(())),
                 };
@@ -353,9 +359,12 @@ impl SgxMee {
             if !self.macs.contains_key(&pa) {
                 let init_vn = self.tree.as_ref().map_or(0, |t| t.vn(leaf));
                 let zeros = [0u8; 64];
-                let ct = self.ctr.encrypt_line(&zeros, LineCounter { pa, vn: init_vn });
+                let ct = self
+                    .ctr
+                    .encrypt_line(&zeros, LineCounter { pa, vn: init_vn });
                 mem.write_line(pa, ct);
-                self.macs.insert(pa, line_mac(&self.mac_key, &ct, pa, init_vn));
+                self.macs
+                    .insert(pa, line_mac(&self.mac_key, &ct, pa, init_vn));
             }
             let ct = mem.read_line(pa);
             let pt = self.ctr.decrypt_line(&ct, LineCounter { pa, vn });
@@ -483,7 +492,14 @@ mod tests {
     fn functional_round_trip() {
         let (mut mee, mut mc, mut mem) = functional_setup();
         let pt = [0x5A; 64];
-        mee.write_line(0x100, Some(&pt), VnPath::OffChip, Time::ZERO, &mut mc, &mut mem);
+        mee.write_line(
+            0x100,
+            Some(&pt),
+            VnPath::OffChip,
+            Time::ZERO,
+            &mut mc,
+            &mut mem,
+        );
         let op = mee.read_line(0x100, VnPath::OffChip, Time::from_us(1), &mut mc, &mut mem);
         assert_eq!(op.data, Some(pt));
         assert!(op.integrity.is_ok());
@@ -495,7 +511,14 @@ mod tests {
     fn tamper_detected() {
         let (mut mee, mut mc, mut mem) = functional_setup();
         let pt = [7u8; 64];
-        mee.write_line(0x40, Some(&pt), VnPath::OffChip, Time::ZERO, &mut mc, &mut mem);
+        mee.write_line(
+            0x40,
+            Some(&pt),
+            VnPath::OffChip,
+            Time::ZERO,
+            &mut mc,
+            &mut mem,
+        );
         mem.tamper_byte(0x40, 3, 0xFF);
         let op = mee.read_line(0x40, VnPath::OffChip, Time::from_us(1), &mut mc, &mut mem);
         assert_eq!(op.integrity, Err(IntegrityError::MacMismatch { pa: 0x40 }));
@@ -506,10 +529,24 @@ mod tests {
         let (mut mee, mut mc, mut mem) = functional_setup();
         let v1 = [1u8; 64];
         let v2 = [2u8; 64];
-        mee.write_line(0x40, Some(&v1), VnPath::OffChip, Time::ZERO, &mut mc, &mut mem);
+        mee.write_line(
+            0x40,
+            Some(&v1),
+            VnPath::OffChip,
+            Time::ZERO,
+            &mut mc,
+            &mut mem,
+        );
         let stale_ct = mem.capture(0x40);
         let stale_mac = mee.stored_mac(0x40).unwrap();
-        mee.write_line(0x40, Some(&v2), VnPath::OffChip, Time::from_us(1), &mut mc, &mut mem);
+        mee.write_line(
+            0x40,
+            Some(&v2),
+            VnPath::OffChip,
+            Time::from_us(1),
+            &mut mc,
+            &mut mem,
+        );
         // Adversary replays ciphertext + matching stale MAC + stale VN.
         mem.replay(0x40, stale_ct);
         mee.forge_mac(0x40, stale_mac);

@@ -187,7 +187,9 @@ impl VnMerkleTree {
     fn rebuild(&mut self) {
         self.hash_levels.clear();
         let groups = self.vns.len().div_ceil(ARITY);
-        let mut level: Vec<MacTag> = (0..groups).map(|g| self.leaf_group_tag_of(&self.vns, g)).collect();
+        let mut level: Vec<MacTag> = (0..groups)
+            .map(|g| self.leaf_group_tag_of(&self.vns, g))
+            .collect();
         self.hash_levels.push(level.clone());
         while level.len() > 1 {
             let next: Vec<MacTag> = (0..level.len().div_ceil(ARITY))

@@ -9,6 +9,10 @@ use tee_crypto::merkle::VnMerkleTree;
 use tee_crypto::{DhKeyPair, Key};
 
 proptest! {
+    // Shared CI configuration: deterministic per-test seeds, bounded case
+    // count, both overridable via PROPTEST_CASES / PROPTEST_RNG_SEED when
+    // replaying a regression (see proptest-regressions/README.md).
+    #![proptest_config(ProptestConfig::ci())]
     /// AES is a permutation: decrypt ∘ encrypt = id for any key/block.
     #[test]
     fn aes_block_round_trip(key_seed in any::<u64>(), block in any::<[u8; 16]>()) {

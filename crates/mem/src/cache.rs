@@ -129,16 +129,13 @@ impl Cache {
         }
         self.stats.bump("miss");
         // Choose victim: first invalid way, else LRU.
-        let victim_idx = set
-            .iter()
-            .position(|w| !w.valid)
-            .unwrap_or_else(|| {
-                set.iter()
-                    .enumerate()
-                    .min_by_key(|(_, w)| w.lru)
-                    .map(|(i, _)| i)
-                    .expect("non-empty set")
-            });
+        let victim_idx = set.iter().position(|w| !w.valid).unwrap_or_else(|| {
+            set.iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.lru)
+                .map(|(i, _)| i)
+                .expect("non-empty set")
+        });
         let victim = &set[victim_idx];
         let evicted = if victim.valid && victim.dirty {
             self.stats.bump("writeback");
@@ -171,10 +168,7 @@ impl Cache {
     /// Marks a resident line dirty (receiving migrated ownership).
     pub fn mark_dirty(&mut self, line_addr: u64) {
         let (idx, tag) = self.index_tag(line_addr);
-        if let Some(w) = self.sets[idx]
-            .iter_mut()
-            .find(|w| w.valid && w.tag == tag)
-        {
+        if let Some(w) = self.sets[idx].iter_mut().find(|w| w.valid && w.tag == tag) {
             w.dirty = true;
         }
     }
@@ -523,7 +517,10 @@ mod tests {
             wb += h.access(0, i * 64, true).mem_writebacks.len();
         }
         let wb_total = wb + h.flush_all().len();
-        assert_eq!(wb_total, 512, "every dirty line must reach memory exactly once");
+        assert_eq!(
+            wb_total, 512,
+            "every dirty line must reach memory exactly once"
+        );
     }
 
     #[test]

@@ -223,10 +223,8 @@ mod tests {
         let cfg = d.config();
         // Two rows in the same bank of the same channel.
         let lines_per_row = cfg.row_bytes / LINE_BYTES;
-        let same_bank_stride = lines_per_row
-            * cfg.channels as u64
-            * cfg.banks_per_channel as u64
-            * LINE_BYTES;
+        let same_bank_stride =
+            lines_per_row * cfg.channels as u64 * cfg.banks_per_channel as u64 * LINE_BYTES;
         let t1 = d.access(0, Time::ZERO);
         let t2 = d.access(same_bank_stride, t1) - t1;
         let t3 = d.access(0, t1 + t2) - (t1 + t2);

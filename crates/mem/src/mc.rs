@@ -111,8 +111,8 @@ mod tests {
 
     #[test]
     fn queue_latency_delays_completion() {
-        let fast = MemoryController::new(DramConfig::ddr4_2400_2ch())
-            .with_queue_latency(Time::ZERO);
+        let fast =
+            MemoryController::new(DramConfig::ddr4_2400_2ch()).with_queue_latency(Time::ZERO);
         let mut fast = fast;
         let mut slow = MemoryController::new(DramConfig::ddr4_2400_2ch())
             .with_queue_latency(Time::from_ns(100));

@@ -28,6 +28,10 @@ fn tiny_hierarchy() -> CacheHierarchy {
 }
 
 proptest! {
+    // Shared CI configuration: deterministic per-test seeds, bounded case
+    // count, both overridable via PROPTEST_CASES / PROPTEST_RNG_SEED when
+    // replaying a regression (see proptest-regressions/README.md).
+    #![proptest_config(ProptestConfig::ci())]
     /// Backing store: last write wins for any interleaving of lines.
     #[test]
     fn store_last_write_wins(ops in vec((0u64..64, any::<u8>()), 1..100)) {

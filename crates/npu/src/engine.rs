@@ -123,7 +123,12 @@ impl NpuEngine {
             MacScheme::None => MacScheme::None,
             _ => MacScheme::PerBlock { granularity: 64 },
         };
-        let code = simulate_stream(&self.cfg, code_scheme, self.code_bytes_per_layer, Time::ZERO);
+        let code = simulate_stream(
+            &self.cfg,
+            code_scheme,
+            self.code_bytes_per_layer,
+            Time::ZERO,
+        );
         // Output drain at (MAC-inflated) bandwidth; MAC generation for
         // writes is pipelined and adds no stall.
         let out_bw = self.cfg.dram_bandwidth() / (1.0 + self.scheme.traffic_overhead());

@@ -104,8 +104,7 @@ impl NpuMemory {
             self.gddr.write_line(pa, ct);
         }
         self.macs.insert(base, acc.tag());
-        self.lens
-            .insert(base, (lines * LINE_BYTES) as u64);
+        self.lens.insert(base, (lines * LINE_BYTES) as u64);
     }
 
     /// Reads and verifies a tensor (non-delayed: verification before the
@@ -162,7 +161,8 @@ impl NpuMemory {
     /// transferring `addr` metadata; we model matching layouts).
     pub fn import_ciphertext(&mut self, meta: TensorMeta, lines: &[[u8; LINE_BYTES]]) {
         for (l, ct) in lines.iter().enumerate() {
-            self.gddr.write_line(meta.base + (l as u64) * LINE_BYTES as u64, *ct);
+            self.gddr
+                .write_line(meta.base + (l as u64) * LINE_BYTES as u64, *ct);
         }
         self.vns.insert(meta.base, meta.vn);
         self.macs.insert(meta.base, meta.mac);
@@ -246,10 +246,7 @@ mod tests {
         let mut m = mem();
         m.write_tensor(0, &vec![5u8; 4 * 64]);
         m.gddr_mut().tamper_byte(128, 7, 0x01);
-        assert_eq!(
-            m.read_tensor(0),
-            Err(TensorMacMismatch { base: 0 })
-        );
+        assert_eq!(m.read_tensor(0), Err(TensorMacMismatch { base: 0 }));
     }
 
     #[test]

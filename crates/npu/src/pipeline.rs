@@ -97,9 +97,8 @@ pub fn simulate_stream(
     let compute_per_block = Time::from_ps(compute_total.as_ps() / n_blocks);
     // Fractional cycles: the hash datapath is pipelined, so per-block
     // recompute time is throughput-, not latency-, quantized.
-    let recompute = Time::from_secs_f64(
-        (block as f64 / 64.0) / cfg.mac_lines_per_cycle / (cfg.freq_ghz * 1e9),
-    );
+    let recompute =
+        Time::from_secs_f64((block as f64 / 64.0) / cfg.mac_lines_per_cycle / (cfg.freq_ghz * 1e9));
     let mac_lat = clock.cycles_to_time(cfg.mac_latency);
     let aes_lat = clock.cycles_to_time(cfg.aes_latency);
     let buffer_slots = (cfg.verify_buffer_bytes / block).max(1) as usize;
@@ -189,7 +188,10 @@ mod tests {
             mem_bound_compute(bytes),
         );
         let ratio = fine.total.as_secs_f64() / plain.total.as_secs_f64();
-        assert!(ratio > 1.08 && ratio < 1.20, "64B overhead ≈ traffic 12.5%: {ratio}");
+        assert!(
+            ratio > 1.08 && ratio < 1.20,
+            "64B overhead ≈ traffic 12.5%: {ratio}"
+        );
     }
 
     #[test]
@@ -220,7 +222,12 @@ mod tests {
         let c = cfg();
         let bytes = 4 << 20;
         let plain = simulate_stream(&c, MacScheme::None, bytes, mem_bound_compute(bytes));
-        let ours = simulate_stream(&c, MacScheme::TensorDelayed, bytes, mem_bound_compute(bytes));
+        let ours = simulate_stream(
+            &c,
+            MacScheme::TensorDelayed,
+            bytes,
+            mem_bound_compute(bytes),
+        );
         let overhead = ours.total.as_secs_f64() / plain.total.as_secs_f64() - 1.0;
         assert!(overhead < 0.05, "delayed verification ≈ free: {overhead}");
         assert_eq!(ours.verify_stall, Time::ZERO);
@@ -232,14 +239,12 @@ mod tests {
         let bytes = 1 << 20;
         let heavy = Time::from_ms(10);
         let plain = simulate_stream(&c, MacScheme::None, bytes, heavy);
-        let coarse = simulate_stream(
-            &c,
-            MacScheme::PerBlock { granularity: 4096 },
-            bytes,
-            heavy,
-        );
+        let coarse = simulate_stream(&c, MacScheme::PerBlock { granularity: 4096 }, bytes, heavy);
         let ratio = coarse.total.as_secs_f64() / plain.total.as_secs_f64();
-        assert!(ratio < 1.02, "compute-bound layers hide protection: {ratio}");
+        assert!(
+            ratio < 1.02,
+            "compute-bound layers hide protection: {ratio}"
+        );
     }
 
     #[test]
@@ -258,6 +263,9 @@ mod tests {
         let plain = simulate_stream(&c, MacScheme::None, 64, Time::ZERO);
         assert!(ours.total > plain.total);
         let barrier = ours.total - plain.total;
-        assert!(barrier < Time::from_ns(200), "barrier is a few cycles: {barrier}");
+        assert!(
+            barrier < Time::from_ns(200),
+            "barrier is a few cycles: {barrier}"
+        );
     }
 }

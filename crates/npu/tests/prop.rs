@@ -12,6 +12,10 @@ use tee_npu::verify::PoisonTracker;
 use tee_sim::Time;
 
 proptest! {
+    // Shared CI configuration: deterministic per-test seeds, bounded case
+    // count, both overridable via PROPTEST_CASES / PROPTEST_RNG_SEED when
+    // replaying a regression (see proptest-regressions/README.md).
+    #![proptest_config(ProptestConfig::ci())]
     /// Tensor round trips for arbitrary contents and sizes.
     #[test]
     fn npu_memory_round_trip(seed in any::<u64>(), data in vec(any::<u8>(), 1..2048)) {

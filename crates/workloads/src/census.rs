@@ -122,7 +122,10 @@ mod tests {
     #[test]
     fn sizes_reach_megabytes() {
         let big = TensorCensus::of(&by_name("LLAMA2-7B").unwrap());
-        assert!(big.max_bytes() > 100 << 20, "large models have 100MB+ tensors");
+        assert!(
+            big.max_bytes() > 100 << 20,
+            "large models have 100MB+ tensors"
+        );
         let small = TensorCensus::of(&by_name("GPT").unwrap());
         assert!(small.max_bytes() > 1 << 20);
         assert!(small.max_bytes() < big.max_bytes());

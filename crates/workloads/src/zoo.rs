@@ -198,4 +198,68 @@ mod tests {
     fn unknown_model_is_none() {
         assert!(by_name("GPT-5").is_none());
     }
+
+    #[test]
+    fn by_name_resolves_every_table2_entry() {
+        for m in TABLE2 {
+            assert_eq!(by_name(m.name), Some(m), "{} must round-trip", m.name);
+        }
+    }
+
+    #[test]
+    fn by_name_is_exact_match_only() {
+        // Case, whitespace and prefix variants must all be rejected: the
+        // lookup feeds experiment selection, where a silent fuzzy match
+        // would run the wrong Table-2 row.
+        for bad in ["gpt", "GPT ", " GPT", "GPT2", "OPT", "LLAMA2-7b", ""] {
+            assert!(by_name(bad).is_none(), "{bad:?} must not resolve");
+        }
+    }
+
+    #[test]
+    fn table2_names_are_unique() {
+        for (i, a) in TABLE2.iter().enumerate() {
+            for b in TABLE2.iter().skip(i + 1) {
+                assert_ne!(a.name, b.name, "duplicate Table-2 name");
+            }
+        }
+    }
+
+    #[test]
+    fn every_workload_layer_shapes_consistent() {
+        use crate::layers::{total_bytes, total_macs, training_step, LayerKind};
+
+        for m in TABLE2 {
+            let step = training_step(&m);
+            // Forward (6 specs) + backward (6 specs) per transformer block.
+            assert_eq!(step.len() as u64, m.layers * 12, "{}", m.name);
+            assert!(total_macs(&step) > 0, "{}", m.name);
+            assert!(total_bytes(&step) > 0, "{}", m.name);
+
+            for (i, l) in step.iter().enumerate() {
+                assert!(l.macs > 0, "{} layer {i}: zero MACs", m.name);
+                assert!(
+                    l.in_bytes > 0 && l.out_bytes > 0,
+                    "{} layer {i}: zero activation traffic",
+                    m.name
+                );
+                match l.kind {
+                    // gemm(m, k, n): in = 2mk, w = 2kn, out = 2mn, macs = mkn
+                    // ⇒ in·w·out = 8·macs², an invariant of any well-formed
+                    // GEMM spec regardless of the (m, k, n) split.
+                    LayerKind::Gemm => {
+                        assert!(l.w_bytes > 0, "{} layer {i}: GEMM without weights", m.name);
+                        let lhs = l.in_bytes as u128 * l.w_bytes as u128 * l.out_bytes as u128;
+                        let rhs = 8 * (l.macs as u128) * (l.macs as u128);
+                        assert_eq!(lhs, rhs, "{} layer {i}: inconsistent GEMM shape", m.name);
+                    }
+                    // Attention and element-wise specs stream activations
+                    // only; weights would double-count the QKV projections.
+                    LayerKind::Attention | LayerKind::Elementwise => {
+                        assert_eq!(l.w_bytes, 0, "{} layer {i}: unexpected weights", m.name);
+                    }
+                }
+            }
+        }
+    }
 }

@@ -6,9 +6,9 @@
 //! cargo run --release --example llm_training [model-name]
 //! ```
 
+use tee_workloads::zoo::{by_name, TABLE2};
 use tensortee::experiments::{fig16_overall, fig17_breakdown};
 use tensortee::SystemConfig;
-use tee_workloads::zoo::{by_name, TABLE2};
 
 fn main() {
     let cfg = SystemConfig::default();
@@ -19,11 +19,7 @@ fn main() {
             let model = by_name(&name).unwrap_or_else(|| {
                 eprintln!(
                     "unknown model {name:?}; available: {}",
-                    TABLE2
-                        .iter()
-                        .map(|m| m.name)
-                        .collect::<Vec<_>>()
-                        .join(", ")
+                    TABLE2.iter().map(|m| m.name).collect::<Vec<_>>().join(", ")
                 );
                 std::process::exit(1);
             });

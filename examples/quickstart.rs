@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use tensortee::{SecureMode, SystemConfig, TrainingSystem};
 use tee_workloads::zoo::by_name;
+use tensortee::{SecureMode, SystemConfig, TrainingSystem};
 
 fn main() {
     let cfg = SystemConfig::default();
@@ -30,10 +30,7 @@ fn main() {
                 reference = Some(total);
                 String::from("(reference)")
             }
-            Some(r) => format!(
-                "({:.2}x non-secure)",
-                total.as_secs_f64() / r.as_secs_f64()
-            ),
+            Some(r) => format!("({:.2}x non-secure)", total.as_secs_f64() / r.as_secs_f64()),
         };
         println!(
             "{:<11} latency/batch = {:<12} {}\n             breakdown: NPU {:.1}% | CPU {:.1}% | comm W {:.1}% | comm G {:.1}%",

@@ -46,14 +46,22 @@ fn tensortee_mode_detects_midrun_tamper() {
         TeeMode::TensorTee(TenAnalyzerConfig::default()),
     );
     let rep = engine.run_adam(&w, 2, 2);
-    assert_eq!(rep.integrity_errors, 0, "{:?}", engine.last_integrity_error());
+    assert_eq!(
+        rep.integrity_errors,
+        0,
+        "{:?}",
+        engine.last_integrity_error()
+    );
     let victim_pa = {
         let addrs = engine.mem_mut().resident_addrs();
         addrs[addrs.len() / 2]
     };
     engine.mem_mut().tamper_byte(victim_pa, 0, 0x80);
     let rep = engine.run_adam(&w, 2, 1);
-    assert!(rep.integrity_errors > 0, "tensor-granularity TEE still verifies");
+    assert!(
+        rep.integrity_errors > 0,
+        "tensor-granularity TEE still verifies"
+    );
 }
 
 #[test]
@@ -76,7 +84,11 @@ fn long_functional_run_stays_consistent() {
     let analyzer = engine.analyzer().expect("tensortee mode");
     assert!(!analyzer.table().is_empty());
     let last = rep.iterations.last().unwrap();
-    assert!(last.hit_in_rate() > 0.5, "steady-state hits: {}", last.hit_in_rate());
+    assert!(
+        last.hit_in_rate() > 0.5,
+        "steady-state hits: {}",
+        last.hit_in_rate()
+    );
 }
 
 #[test]

@@ -2,8 +2,8 @@
 //! *shapes* on the composed simulator (exact factors depend on our
 //! substrate; see EXPERIMENTS.md).
 
-use tensortee::{SecureMode, SystemConfig, TrainingSystem};
 use tee_workloads::zoo::{by_name, TABLE2};
+use tensortee::{SecureMode, SystemConfig, TrainingSystem};
 
 fn cfg() -> SystemConfig {
     SystemConfig::fast_sim()
@@ -59,8 +59,14 @@ fn comm_share_explodes_under_sgx_mgx() {
     let ns = share(SecureMode::NonSecure);
     let base = share(SecureMode::SgxMgx);
     let ours = share(SecureMode::TensorTee);
-    assert!(base > ns + 0.15, "baseline comm share: {base:.2} vs ns {ns:.2}");
-    assert!(ours <= ns + 0.05, "ours back to non-secure level: {ours:.2}");
+    assert!(
+        base > ns + 0.15,
+        "baseline comm share: {base:.2} vs ns {ns:.2}"
+    );
+    assert!(
+        ours <= ns + 0.05,
+        "ours back to non-secure level: {ours:.2}"
+    );
 }
 
 #[test]

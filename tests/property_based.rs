@@ -3,15 +3,19 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
+use tee_cpu::analyzer::meta_table::{MetaEntry, MetaTable, ReadLookup};
+use tee_cpu::tensor::TensorDesc;
 use tee_crypto::ctr::LINE_BYTES;
 use tee_crypto::mac::{line_mac, MacKey, TensorMac};
 use tee_crypto::{CtrEngine, DhKeyPair, Key, LineCounter, VnMerkleTree};
-use tee_cpu::analyzer::meta_table::{MetaEntry, MetaTable, ReadLookup};
-use tee_cpu::tensor::TensorDesc;
 use tee_mem::{Cache, CacheConfig, PageMapper};
 use tee_sim::{BandwidthResource, SplitMix64, Time};
 
 proptest! {
+    // Shared CI configuration: deterministic per-test seeds, bounded case
+    // count, both overridable via PROPTEST_CASES / PROPTEST_RNG_SEED when
+    // replaying a regression (see proptest-regressions/README.md).
+    #![proptest_config(ProptestConfig::ci())]
     /// CTR encryption round-trips for any plaintext/counter pair.
     #[test]
     fn ctr_round_trip(seed in any::<u64>(), pa in any::<u64>(), vn in any::<u64>(),

@@ -16,7 +16,10 @@ fn session() -> SecureSession {
 
 /// Transfers a tensor enclave-to-enclave through both channels, as the
 /// protocol does, returning what the receiver reconstructs.
-fn transfer_round_trip(data: &[u8], tamper: impl FnOnce(&mut Vec<[u8; 64]>)) -> Result<Vec<u8>, String> {
+fn transfer_round_trip(
+    data: &[u8],
+    tamper: impl FnOnce(&mut Vec<[u8; 64]>),
+) -> Result<Vec<u8>, String> {
     let s = session();
     // Sender (CPU-side enclave memory modeled with the same unified
     // tensor-granularity store — that is the point of unification).
@@ -41,7 +44,10 @@ fn transfer_round_trip(data: &[u8], tamper: impl FnOnce(&mut Vec<[u8; 64]>)) -> 
     let delivered = dma.dma(&lines);
 
     // Receiver: open metadata, import, verify.
-    let opened = s.npu_channel().open(&sealed, 0).map_err(|e| e.to_string())?;
+    let opened = s
+        .npu_channel()
+        .open(&sealed, 0)
+        .map_err(|e| e.to_string())?;
     let mut receiver = NpuMemory::new(s.key());
     receiver.import_ciphertext(
         tee_npu::TensorMeta {
@@ -68,7 +74,10 @@ fn in_flight_tamper_detected_at_receiver() {
     let result = transfer_round_trip(&data, |lines| {
         lines[3][10] ^= 0x04;
     });
-    assert!(result.is_err(), "tampered DMA payload must fail the tensor MAC");
+    assert!(
+        result.is_err(),
+        "tampered DMA payload must fail the tensor MAC"
+    );
 }
 
 #[test]
@@ -99,15 +108,24 @@ fn bus_snoop_learns_only_ciphertext() {
     let mut dma = DirectChannel::new();
     dma.dma(&lines);
     for line in dma.snooped() {
-        assert_ne!(&line[..], &secret[..64], "plaintext must never cross the bus");
+        assert_ne!(
+            &line[..],
+            &secret[..64],
+            "plaintext must never cross the bus"
+        );
     }
 }
 
 #[test]
 fn different_sessions_cannot_decrypt_each_other() {
     let s1 = session();
-    let s2 = SecureSession::establish(Key::from_seed(DEVICE_SEED + 1), b"cpu image", b"npu image", 99)
-        .expect("attests");
+    let s2 = SecureSession::establish(
+        Key::from_seed(DEVICE_SEED + 1),
+        b"cpu image",
+        b"npu image",
+        99,
+    )
+    .expect("attests");
     assert_ne!(s1.key(), s2.key());
     let mut sender = NpuMemory::new(s1.key());
     sender.write_tensor(0, &[1u8; 128]);

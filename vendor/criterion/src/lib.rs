@@ -1,0 +1,202 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion) crate.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched. This crate implements the builder/bench surface the
+//! `tee-bench` harness uses — `Criterion::default()`, `sample_size`,
+//! `measurement_time`, `warm_up_time`, `bench_function`, `Bencher::iter`,
+//! `black_box` and `final_summary` — backed by a simple wall-clock sampler:
+//! each sample times a batch of iterations, and the per-bench report prints
+//! min / median / mean of the per-iteration times.
+//!
+//! It honors `--bench` (ignored filter) and exits immediately under
+//! `--test`, which is what `cargo test` passes to `harness = false` bench
+//! targets, so test runs never pay for benchmark measurement.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// The benchmark driver. Mirrors criterion's builder API.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+    completed: Vec<(String, Duration)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            test_mode,
+            completed: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the wall-clock budget for the measurement phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the wall-clock budget for the warm-up phase.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark: warm-up to estimate iteration cost, then
+    /// `sample_size` timed batches within the measurement budget.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.test_mode {
+            // `cargo test` smoke-runs bench targets: execute one iteration
+            // so the closure is exercised, but skip all measurement.
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            eprintln!("test {id} ... ok");
+            return self;
+        }
+
+        // Warm-up: run batches until the budget elapses, tracking the mean
+        // iteration time to size measurement batches.
+        let warm_start = Instant::now();
+        let mut iters_done = 0u64;
+        let mut batch = 1u64;
+        while warm_start.elapsed() < self.warm_up_time {
+            let mut b = Bencher {
+                iters: batch,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            iters_done += batch;
+            batch = (batch * 2).min(1 << 20);
+        }
+        let per_iter = if iters_done > 0 {
+            warm_start.elapsed() / iters_done.max(1) as u32
+        } else {
+            Duration::from_millis(1)
+        };
+
+        // Measurement: split the budget into sample_size batches.
+        let budget_per_sample = self.measurement_time / self.sample_size as u32;
+        let iters_per_sample = if per_iter.is_zero() {
+            1000
+        } else {
+            (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64
+        };
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters: iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed / iters_per_sample as u32);
+        }
+        samples.sort_unstable();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        eprintln!(
+            "{id:<44} time: [min {} median {} mean {}] ({} samples x {} iters)",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            self.sample_size,
+            iters_per_sample,
+        );
+        self.completed.push((id.to_string(), median));
+        self
+    }
+
+    /// Prints the end-of-run summary (criterion's `final_summary`).
+    pub fn final_summary(&mut self) {
+        if self.test_mode {
+            return;
+        }
+        eprintln!(
+            "---- benchmark summary ({} benches) ----",
+            self.completed.len()
+        );
+        for (id, median) in &self.completed {
+            eprintln!("  {id:<44} median {}", fmt_duration(*median));
+        }
+    }
+}
+
+/// Timer handle passed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`, accumulating into this sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_bench_run() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| black_box(1u64 + 1));
+        });
+        assert!(ran);
+        c.final_summary();
+    }
+
+    #[test]
+    fn format_covers_magnitudes() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5 ns");
+        assert!(fmt_duration(Duration::from_micros(5)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(5)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).ends_with("s"));
+    }
+}

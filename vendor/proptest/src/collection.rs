@@ -1,0 +1,86 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// Length specification accepted by [`vec`]: an exact length, `lo..hi`, or
+/// `lo..=hi` (mirrors proptest's `SizeRange` conversions).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        Self {
+            min: exact,
+            max: exact,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        Self {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty vec size range");
+        Self {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `S` and a length drawn from
+/// a [`SizeRange`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generates vectors whose elements come from `element` and whose length is
+/// drawn from `size` (an exact `usize`, `lo..hi`, or `lo..=hi`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max - self.size.min) as u64 + 1;
+        let len = self.size.min + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn exact_and_ranged_lengths() {
+        let mut rng = TestRng::from_seed(5);
+        assert_eq!(vec(any::<u8>(), 64).generate(&mut rng).len(), 64);
+        for _ in 0..100 {
+            let v = vec(any::<u8>(), 1..50).generate(&mut rng);
+            assert!((1..50).contains(&v.len()));
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Option strategies (`proptest::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy yielding `None` for ~25% of cases and `Some(inner)` otherwise,
+/// matching the real crate's default weighting.
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S>(S);
+
+/// Generates `Option<T>` values from an inner strategy.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy(inner)
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.0.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn yields_both_variants() {
+        let mut rng = TestRng::from_seed(6);
+        let strat = of(any::<u64>());
+        let draws: Vec<_> = (0..64).map(|_| strat.generate(&mut rng)).collect();
+        assert!(draws.iter().any(Option::is_some));
+        assert!(draws.iter().any(Option::is_none));
+    }
+}

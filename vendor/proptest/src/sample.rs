@@ -1,0 +1,41 @@
+//! Sampling helpers (`proptest::sample::Index`).
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// A position into a collection whose length is not known at generation
+/// time. Generated via `any::<Index>()`, then projected onto a concrete
+/// length with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Maps this abstract index onto a collection of `len` elements.
+    ///
+    /// # Panics
+    /// Panics if `len == 0`, as there is no valid index.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_in_bounds() {
+        let mut rng = TestRng::from_seed(7);
+        for len in [1usize, 2, 7, 199] {
+            let idx = Index::arbitrary(&mut rng);
+            assert!(idx.index(len) < len);
+        }
+    }
+}

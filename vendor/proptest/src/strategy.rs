@@ -1,0 +1,144 @@
+//! The [`Strategy`] trait and the built-in strategies for integer ranges
+//! and tuples.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// The real proptest `Strategy` produces a *value tree* supporting
+/// shrinking; this offline stand-in generates plain values directly. Every
+/// strategy is deterministic given the RNG state.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Blanket impl so `&strategy` is itself a strategy (mirrors proptest,
+/// where strategies are frequently passed by reference).
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $ty)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range: every bit pattern is valid.
+                    rng.next_u64() as $ty
+                } else {
+                    lo.wrapping_add(rng.below(span) as $ty)
+                }
+            }
+        }
+
+        impl Strategy for RangeFrom<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let span = (<$ty>::MAX as u64).wrapping_sub(self.start as u64).wrapping_add(1);
+                if span == 0 {
+                    rng.next_u64() as $ty
+                } else {
+                    self.start.wrapping_add(rng.below(span) as $ty)
+                }
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// A strategy that always yields clones of one value (proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..1000 {
+            let v = (10u64..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (1u8..=255).generate(&mut rng);
+            assert!(w >= 1);
+            let x = (5usize..).generate(&mut rng);
+            assert!(x >= 5);
+        }
+    }
+
+    #[test]
+    fn full_width_inclusive_range_works() {
+        let mut rng = TestRng::from_seed(2);
+        // 0..=u64::MAX has a 2^64 span; must not panic or bias to zero.
+        let mut any_nonzero = false;
+        for _ in 0..10 {
+            any_nonzero |= (0u64..=u64::MAX).generate(&mut rng) != 0;
+        }
+        assert!(any_nonzero);
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut rng = TestRng::from_seed(3);
+        let (a, b) = (0u64..10, 10u64..20).generate(&mut rng);
+        assert!(a < 10 && (10..20).contains(&b));
+    }
+}

@@ -1,0 +1,165 @@
+//! Deterministic test-runner plumbing: the RNG, the per-suite
+//! configuration, and the error type threaded through `prop_assert!`.
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property was violated; carries the formatted assertion message.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is skipped, not failed.
+    Reject(&'static str),
+}
+
+/// SplitMix64 — tiny, fast, and deterministic. The same generator the
+/// simulator substrate uses (`tee_sim::rng`), duplicated here so the test
+/// harness has no dependencies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator whose entire stream is a function of `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Modulo bias is ≤ bound/2^64 — irrelevant for test generation.
+        self.next_u64() % bound
+    }
+
+    /// Uniform usize in `[0, bound)`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+}
+
+/// Per-suite configuration, mirroring the fields of the real
+/// `proptest::test_runner::Config` that this repository relies on.
+///
+/// Resolution order for both knobs: explicit field value, then environment
+/// variable (`PROPTEST_CASES` / `PROPTEST_RNG_SEED`), then the default.
+/// Seeds are *always* deterministic: the fallback seed is derived from the
+/// test function's name, never from the wall clock.
+#[derive(Debug, Clone, Default)]
+pub struct ProptestConfig {
+    /// Number of cases to generate per property. `0` means "use the
+    /// `PROPTEST_CASES` env var or the built-in default of 64".
+    pub cases: u32,
+    /// Optional pinned RNG seed shared by every property in the suite.
+    /// `None` derives a stable per-test seed from the test name.
+    pub rng_seed: Option<u64>,
+}
+
+impl ProptestConfig {
+    /// Built-in case count when neither the config nor the environment pins
+    /// one.
+    pub const DEFAULT_CASES: u32 = 64;
+
+    /// A config running `cases` cases (seed still derived per-test).
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+
+    /// The shared CI configuration used by every per-crate `prop.rs` suite:
+    /// deterministic per-test seeds and an explicitly pinned case count.
+    /// This is *the* knob for tuning CI property-test depth — edit the
+    /// pinned count here and every suite follows. `PROPTEST_CASES` /
+    /// `PROPTEST_RNG_SEED` still override at run time so a regression line
+    /// can be replayed exactly (see `proptest-regressions/README.md`).
+    pub fn ci() -> Self {
+        Self::with_cases(Self::DEFAULT_CASES)
+    }
+
+    /// The case count after applying the environment override. The env var
+    /// is a run-time operator action (replay, deeper soak), so it wins over
+    /// the suite's pinned baseline.
+    pub fn resolved_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            Some(n) if n > 0 => n,
+            _ if self.cases > 0 => self.cases,
+            _ => Self::DEFAULT_CASES,
+        }
+    }
+
+    /// The RNG seed after applying the environment override; falls back to
+    /// an FNV-1a hash of the test name so every property gets a distinct
+    /// but reproducible stream.
+    pub fn resolved_seed(&self, test_name: &str) -> u64 {
+        if let Some(seed) = self.rng_seed {
+            return seed;
+        }
+        if let Ok(raw) = std::env::var("PROPTEST_RNG_SEED") {
+            let parsed = raw
+                .strip_prefix("0x")
+                .map(|hex| u64::from_str_radix(hex, 16))
+                .unwrap_or_else(|| raw.parse());
+            if let Ok(seed) = parsed {
+                return seed;
+            }
+        }
+        fnv1a(test_name.as_bytes())
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::from_seed(42);
+        let mut b = TestRng::from_seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_differ_per_test_name() {
+        let cfg = ProptestConfig::default();
+        assert_ne!(cfg.resolved_seed("alpha"), cfg.resolved_seed("beta"));
+        assert_eq!(cfg.resolved_seed("alpha"), cfg.resolved_seed("alpha"));
+    }
+
+    #[test]
+    fn ci_pins_the_baseline_case_count() {
+        assert_eq!(ProptestConfig::ci().cases, ProptestConfig::DEFAULT_CASES);
+    }
+
+    #[test]
+    fn pinned_seed_wins() {
+        let cfg = ProptestConfig {
+            rng_seed: Some(7),
+            ..ProptestConfig::default()
+        };
+        assert_eq!(cfg.resolved_seed("anything"), 7);
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for the [`serde`](https://docs.rs/serde) crate.
+//!
+//! The build environment has no network access, so the real `serde` cannot
+//! be fetched. The TensorTEE sources only use serde through
+//! `#[derive(Serialize, Deserialize)]` attributes — no code path actually
+//! serializes anything yet — so this crate provides the two derive macros
+//! as no-ops. The moment a consumer needs real serialization (e.g. a report
+//! exporter), replace the `vendor/serde` path dependency with the crates.io
+//! crate; every derive site is already annotated correctly.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
