@@ -1,4 +1,4 @@
-//! Ablations over the design choices DESIGN.md calls out:
+//! Ablations over the design choices the reproduction calls out:
 //! Meta Table capacity, Tensor Filter threshold, metadata-cache size for
 //! the SGX baseline, and AES bandwidth for the staging protocol.
 

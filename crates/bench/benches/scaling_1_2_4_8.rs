@@ -1,0 +1,50 @@
+//! Strong scaling — multi-NPU data parallelism with secure ring
+//! all-reduce (extension beyond the paper's single-NPU evaluation; see
+//! EXPERIMENTS.md).
+//!
+//! Prints the strong-scaling table for GPT2-M at 1/2/4/8 NPUs under
+//! SGX+MGX vs TensorTEE: step time, speedup over the same mode's
+//! single-NPU step, exposed-communication fraction, and per-rank
+//! all-reduce wire bytes. The shape to look for: staging's exposed-comm
+//! share keeps climbing (every ring hop pays the §3.3 conversion) until
+//! adding NPUs makes the step *slower*, while the direct protocol hides
+//! the collective in the backward window and keeps scaling.
+
+use criterion::black_box;
+use tee_bench::{banner, criterion_quick};
+use tee_comm::ring::{Interconnect, RingAllReduce};
+use tee_workloads::zoo::by_name;
+use tensortee::experiments::scaling_strong;
+use tensortee::{SecureMode, SystemConfig};
+
+fn main() {
+    let cfg = SystemConfig::default();
+    let model = by_name("GPT2-M").expect("Table-2 model");
+    banner(
+        "Strong scaling — 1/2/4/8 NPUs, secure ring all-reduce",
+        "extension: staging's exposed comm grows with N, direct stays flat (cf. §3.3, §4.4)",
+    );
+    let (_, md) = scaling_strong(
+        &cfg,
+        &model,
+        &[1, 2, 4, 8],
+        &[SecureMode::SgxMgx, SecureMode::TensorTee],
+    );
+    eprintln!("{md}");
+
+    let grad = model.grad_bytes();
+    let mut c = criterion_quick();
+    c.bench_function("scaling/ring_all_reduce_staged_8", |b| {
+        b.iter(|| {
+            let ring = RingAllReduce::new(8, Interconnect::PcieP2p);
+            black_box(ring.staged(grad).total())
+        })
+    });
+    c.bench_function("scaling/ring_all_reduce_direct_8", |b| {
+        b.iter(|| {
+            let ring = RingAllReduce::new(8, Interconnect::PcieP2p);
+            black_box(ring.direct(grad).total())
+        })
+    });
+    c.final_summary();
+}

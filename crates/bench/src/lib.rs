@@ -1,9 +1,13 @@
 //! # tee-bench
 //!
-//! Criterion benchmark harness. Each bench in `benches/` regenerates one
-//! table or figure of the paper (see DESIGN.md for the experiment index):
-//! it prints the paper-formatted artifact once, then Criterion-times the
-//! underlying simulation kernel.
+//! Criterion benchmark harness for the paper's evaluation section (§6).
+//! Each bench target in `benches/` regenerates one table or figure —
+//! `fig03_cpu_slowdown` through `fig21_comm_breakdown`, `tab2_workloads`,
+//! the §6.2/§6.5 spot checks, plus the `scaling_1_2_4_8` multi-NPU
+//! strong-scaling extension — printing the paper-formatted artifact once
+//! and then Criterion-timing the underlying simulation kernel. The full
+//! bench → figure/table map lives in EXPERIMENTS.md at the repo root;
+//! the shared experiment runners live in `tensortee::experiments`.
 
 use criterion::Criterion;
 

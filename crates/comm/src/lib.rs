@@ -13,14 +13,18 @@
 //!   MAC'd under the shared session key; ciphertext crosses the bus
 //!   unmodified and snoopable-but-useless,
 //! * [`schedule`] — the compute/transfer overlap scheduler behind
-//!   Figures 7 and 15.
+//!   Figures 7 and 15,
+//! * [`ring`] — the secure ring all-reduce that extends the protocol
+//!   split to N-way data-parallel gradient aggregation across NPU TEEs.
 
 pub mod channel;
 pub mod link;
 pub mod protocol;
+pub mod ring;
 pub mod schedule;
 
 pub use channel::{ChannelError, DirectChannel, TransferMeta, TrustedChannel};
 pub use link::{AesEngine, PcieLink};
 pub use protocol::{DirectProtocol, StagingProtocol, TransferBreakdown};
-pub use schedule::{overlapped_time, serialized_time, Timeline};
+pub use ring::{AllReduceBreakdown, Interconnect, RingAllReduce};
+pub use schedule::{exposed_time, overlapped_time, serialized_time, Timeline};

@@ -52,6 +52,16 @@ impl StagingProtocol {
         }
     }
 
+    /// Builds the protocol over a custom link (used by the ring all-reduce
+    /// to run hops on the NPU-side interconnect, [`crate::ring`]).
+    pub fn on_link(link: PcieLink) -> Self {
+        StagingProtocol {
+            sender_aes: AesEngine::single(),
+            receiver_aes: AesEngine::single(),
+            link,
+        }
+    }
+
     /// Transfers `bytes` starting at `at`; phases are serialized
     /// (decrypt+re-encrypt must finish before DMA of the staged copy, and
     /// the receiver converts after arrival).
@@ -108,6 +118,15 @@ impl DirectProtocol {
         DirectProtocol {
             link: PcieLink::gen4_x16(),
             trusted_link: PcieLink::gen4_x16(),
+        }
+    }
+
+    /// Builds the protocol over a custom link (used by the ring all-reduce
+    /// to run hops on the NPU-side interconnect, [`crate::ring`]).
+    pub fn on_link(link: PcieLink) -> Self {
+        DirectProtocol {
+            trusted_link: link.clone(),
+            link,
         }
     }
 

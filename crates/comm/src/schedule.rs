@@ -18,6 +18,17 @@ pub fn overlapped_time(compute: Time, transfer: Time) -> Time {
     compute.max(transfer)
 }
 
+/// The exposed (non-overlapped) tail of a transfer hidden behind a compute
+/// window: `overlapped_time(window, transfer) − window`. Zero when the
+/// transfer fits inside the window, including the exact-fit boundary.
+///
+/// The end-to-end simulators use this for the gradient transfer and ring
+/// all-reduce hidden behind the backward window, and the weight transfer
+/// hidden behind the CPU optimizer (§4.4, Figure 15).
+pub fn exposed_time(window: Time, transfer: Time) -> Time {
+    transfer.saturating_sub(window)
+}
+
 /// A labeled segment on a two-stream timeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Segment {
@@ -126,6 +137,41 @@ mod tests {
         assert_eq!(overlapped_time(c, x), Time::from_us(10));
         // Transfer larger than compute: exposed excess.
         assert_eq!(overlapped_time(x, c), Time::from_us(10));
+    }
+
+    #[test]
+    fn zero_length_transfer_is_free() {
+        let c = Time::from_us(10);
+        assert_eq!(serialized_time(c, Time::ZERO), c);
+        assert_eq!(overlapped_time(c, Time::ZERO), c);
+        assert_eq!(exposed_time(c, Time::ZERO), Time::ZERO);
+        // A zero-length compute window exposes the whole transfer.
+        assert_eq!(exposed_time(Time::ZERO, c), c);
+        // And nothing happening at all takes no time.
+        assert_eq!(overlapped_time(Time::ZERO, Time::ZERO), Time::ZERO);
+        assert_eq!(exposed_time(Time::ZERO, Time::ZERO), Time::ZERO);
+    }
+
+    #[test]
+    fn transfer_longer_than_compute_exposes_excess() {
+        let c = Time::from_us(4);
+        let x = Time::from_us(10);
+        assert_eq!(overlapped_time(c, x), x);
+        assert_eq!(exposed_time(c, x), Time::from_us(6));
+        // Exposed tail + window reconstructs the overlapped makespan.
+        assert_eq!(c + exposed_time(c, x), overlapped_time(c, x));
+    }
+
+    #[test]
+    fn exact_overlap_boundary_exposes_nothing() {
+        let t = Time::from_us(7);
+        assert_eq!(overlapped_time(t, t), t);
+        assert_eq!(exposed_time(t, t), Time::ZERO);
+        // One picosecond past the boundary is the smallest exposed tail.
+        let just_over = t + Time::from_ps(1);
+        assert_eq!(exposed_time(t, just_over), Time::from_ps(1));
+        let just_under = t.saturating_sub(Time::from_ps(1));
+        assert_eq!(exposed_time(t, just_under), Time::ZERO);
     }
 
     #[test]

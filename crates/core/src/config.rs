@@ -1,6 +1,8 @@
-//! End-to-end system configuration (Table 1) and security modes.
+//! End-to-end system configuration (Table 1), security modes, and the
+//! multi-NPU cluster shape.
 
 use serde::Serialize;
+use tee_comm::Interconnect;
 use tee_cpu::CpuConfig;
 use tee_npu::NpuConfig;
 
@@ -47,8 +49,8 @@ pub struct SystemConfig {
     /// CPU worker threads used for the optimizer.
     pub cpu_threads: u32,
     /// Linear down-scale applied to workloads before the cacheline-level
-    /// CPU simulation (bandwidth-bound phases scale linearly; see
-    /// DESIGN.md "Fidelity & calibration notes").
+    /// CPU simulation (bandwidth-bound phases scale linearly; see the
+    /// fidelity preamble of EXPERIMENTS.md).
     pub sim_scale: u64,
     /// Adam iterations simulated per measurement (steady state taken from
     /// the last iteration).
@@ -65,6 +67,41 @@ impl Default for SystemConfig {
             sim_scale: 16_384,
             cpu_iterations: 3,
         }
+    }
+}
+
+/// Shape of a multi-NPU data-parallel cluster: one CPU TEE driving
+/// `n_npus` NPU TEEs whose gradients aggregate over a secure ring
+/// all-reduce on `interconnect` (see [`tee_comm::ring`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ClusterConfig {
+    /// Data-parallel NPU replicas (the paper's evaluated system is
+    /// `n_npus == 1`).
+    pub n_npus: u32,
+    /// The NPU↔NPU fabric the ring runs on.
+    pub interconnect: Interconnect,
+}
+
+impl ClusterConfig {
+    /// The paper's single-NPU system: a one-replica cluster reproduces
+    /// [`crate::TrainingSystem`] bit-for-bit.
+    pub fn single() -> Self {
+        Self::of(1)
+    }
+
+    /// An `n_npus`-replica cluster on the default PCIe peer-to-peer
+    /// fabric.
+    pub fn of(n_npus: u32) -> Self {
+        ClusterConfig {
+            n_npus,
+            interconnect: Interconnect::default(),
+        }
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self::single()
     }
 }
 
@@ -131,6 +168,14 @@ mod tests {
         let c = SystemConfig::default();
         assert_eq!(c.cpu_threads, 8);
         assert!(c.sim_scale > 0);
+    }
+
+    #[test]
+    fn cluster_default_is_single_npu() {
+        let c = ClusterConfig::default();
+        assert_eq!(c, ClusterConfig::single());
+        assert_eq!(c.n_npus, 1);
+        assert_eq!(ClusterConfig::of(8).n_npus, 8);
     }
 
     #[test]

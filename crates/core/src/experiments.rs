@@ -2,11 +2,11 @@
 //!
 //! Every function returns a rendered markdown artifact (plus structured
 //! data where benches need it), so `cargo bench` regenerates the paper's
-//! evaluation section. The experiment index lives in DESIGN.md.
+//! evaluation section. The experiment index lives in EXPERIMENTS.md.
 
-use crate::config::{SecureMode, SystemConfig};
+use crate::config::{ClusterConfig, SecureMode, SystemConfig};
 use crate::report::{f2, pct, Table};
-use crate::system::TrainingSystem;
+use crate::system::{ClusterStepBreakdown, ClusterSystem, TrainingSystem};
 use tee_comm::protocol::{DirectProtocol, StagingProtocol};
 use tee_comm::schedule::{overlapped_time, serialized_time, Timeline};
 use tee_cpu::analyzer::TenAnalyzerConfig;
@@ -526,6 +526,86 @@ pub fn sec62_gemm_detection(cfg: &SystemConfig) -> (f64, String) {
     (rate, md)
 }
 
+// ---------------------------------------------------------------------
+// Strong scaling — multi-NPU data parallelism (scaling_1_2_4_8 bench).
+// ---------------------------------------------------------------------
+
+/// One strong-scaling sample: one cluster size under one mode.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingRow {
+    /// Data-parallel NPU replicas.
+    pub n_npus: u32,
+    /// Security mode.
+    pub mode: SecureMode,
+    /// Full per-phase breakdown.
+    pub breakdown: ClusterStepBreakdown,
+    /// Bytes each rank puts on the ring (`2·(N−1)/N·grad_bytes`).
+    pub ar_wire_bytes: u64,
+}
+
+impl ScalingRow {
+    /// Step-time speedup relative to `base` (the table uses the same
+    /// mode's smallest-cluster sample).
+    pub fn speedup_over(&self, base: &ScalingRow) -> f64 {
+        base.breakdown.total().as_secs_f64() / self.breakdown.total().as_secs_f64()
+    }
+}
+
+/// Runs the strong-scaling sweep: a fixed global batch of `model` split
+/// across each cluster size in `sizes`, under each mode in `modes`.
+///
+/// The table reports step time, speedup over the same mode's single-NPU
+/// step, the exposed-communication fraction, and the per-rank all-reduce
+/// wire bytes. The shapes to look for: the staging protocol's exposed-comm
+/// fraction grows with N (every ring hop pays the §3.3 conversion, while
+/// per-replica compute shrinks), whereas the direct protocol's stays
+/// roughly flat because the collective hides in the backward window.
+pub fn scaling_strong(
+    cfg: &SystemConfig,
+    model: &ModelConfig,
+    sizes: &[u32],
+    modes: &[SecureMode],
+) -> (Vec<ScalingRow>, String) {
+    let mut rows = Vec::new();
+    // The speedup baseline is each mode's first cluster size — label the
+    // column accordingly so a sweep not starting at 1 stays honest.
+    let base_n = sizes.first().copied().unwrap_or(1);
+    let mut table = Table::new([
+        "NPUs".to_string(),
+        "mode".to_string(),
+        "step".to_string(),
+        format!("speedup vs N={base_n}"),
+        "exposed comm".to_string(),
+        "AR wire bytes/rank".to_string(),
+    ]);
+    for &mode in modes {
+        let mut base: Option<ScalingRow> = None;
+        for &n in sizes {
+            let cluster = ClusterConfig::of(n);
+            let mut sys = ClusterSystem::new(cfg.clone(), cluster, mode);
+            let breakdown = sys.simulate_step(model);
+            let ar = sys.all_reduce_cost(model.grad_bytes());
+            let row = ScalingRow {
+                n_npus: n,
+                mode,
+                breakdown,
+                ar_wire_bytes: ar.wire_bytes(),
+            };
+            let base = *base.get_or_insert(row);
+            table.row([
+                n.to_string(),
+                mode.label().to_string(),
+                breakdown.total().to_string(),
+                format!("{}x", f2(row.speedup_over(&base))),
+                pct(breakdown.exposed_comm_fraction()),
+                tee_sim::util::fmt_bytes(row.ar_wire_bytes),
+            ]);
+            rows.push(row);
+        }
+    }
+    (rows, table.to_markdown())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -603,5 +683,27 @@ mod tests {
         let (rate, md) = sec62_gemm_detection(&cfg());
         assert!(rate > 0.95, "{rate}");
         assert!(md.contains("98.8%"));
+    }
+
+    #[test]
+    fn scaling_table_shape() {
+        let model = TABLE2[0]; // GPT 117M keeps the sweep fast.
+        let (rows, md) = scaling_strong(
+            &cfg(),
+            &model,
+            &[1, 4],
+            &[SecureMode::SgxMgx, SecureMode::TensorTee],
+        );
+        assert_eq!(rows.len(), 4);
+        assert!(md.contains("exposed comm"));
+        // N=1 rows have no ring traffic; N=4 rows do.
+        for r in &rows {
+            if r.n_npus == 1 {
+                assert_eq!(r.ar_wire_bytes, 0);
+                assert_eq!(r.breakdown.comm_ar, Time::ZERO);
+            } else {
+                assert!(r.ar_wire_bytes > 0);
+            }
+        }
     }
 }

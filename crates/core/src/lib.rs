@@ -4,7 +4,7 @@
 //! (`tee-cpu`), the NPU engine (`tee-npu`) and the interconnect protocols
 //! (`tee-comm`) into end-to-end ZeRO-Offload training steps, and provides
 //! the experiment runners that regenerate every table and figure of the
-//! paper (see `DESIGN.md` for the experiment index).
+//! paper (see EXPERIMENTS.md for the experiment index).
 //!
 //! ## Quick start
 //!
@@ -26,7 +26,7 @@ pub mod report;
 pub mod session;
 pub mod system;
 
-pub use config::{SecureMode, SystemConfig};
+pub use config::{ClusterConfig, SecureMode, SystemConfig};
 pub use hw::HardwareBudget;
 pub use session::SecureSession;
-pub use system::{StepBreakdown, TrainingSystem};
+pub use system::{ClusterStepBreakdown, ClusterSystem, StepBreakdown, TrainingSystem};

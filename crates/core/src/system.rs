@@ -11,9 +11,18 @@
 //!   extrapolated — the phase is bandwidth-bound),
 //! * weight transfer — protocol again, overlapping the CPU phase for the
 //!   direct protocol (per-tensor pipelining, §4.4).
+//!
+//! [`ClusterSystem`] extends the composition to N-way data parallelism:
+//! it fans one [`StepSchedule`] out over N lockstep NPU replicas, swaps
+//! the single backward's gradient production for a secure ring all-reduce
+//! ([`tee_comm::ring`]) and accounts the collective as its own `comm_ar`
+//! phase in [`ClusterStepBreakdown`]. A one-replica cluster reproduces
+//! [`TrainingSystem`] bit-for-bit.
 
-use crate::config::{SecureMode, SystemConfig};
+use crate::config::{ClusterConfig, SecureMode, SystemConfig};
 use tee_comm::protocol::{DirectProtocol, StagingProtocol, TransferBreakdown};
+use tee_comm::ring::{AllReduceBreakdown, RingAllReduce};
+use tee_comm::schedule::exposed_time;
 use tee_comm::PcieLink;
 use tee_cpu::analyzer::TenAnalyzerConfig;
 use tee_cpu::{AdamWorkload, CpuEngine, TeeMode};
@@ -207,8 +216,8 @@ impl TrainingSystem {
             // Gradients hide behind the backward ~2/3 of the NPU phase;
             // weights pipeline behind the CPU optimizer (§4.4, Figure 15).
             let bwd_window = Time::from_ps(npu.as_ps() * 2 / 3);
-            let g = comm.grad.total().saturating_sub(bwd_window);
-            let w = comm.weight.total().saturating_sub(cpu);
+            let g = exposed_time(bwd_window, comm.grad.total());
+            let w = exposed_time(cpu, comm.weight.total());
             (g, w)
         } else {
             (comm.grad.total(), comm.weight.total())
@@ -218,6 +227,180 @@ impl TrainingSystem {
             cpu,
             comm_w,
             comm_g,
+        }
+    }
+}
+
+/// Per-phase breakdown of one data-parallel training step: the
+/// [`StepBreakdown`] phases plus the exposed ring all-reduce time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterStepBreakdown {
+    /// Per-replica NPU forward + backward (replicas run in lockstep).
+    pub npu: Time,
+    /// CPU optimizer (Adam) on the reduced gradients.
+    pub cpu: Time,
+    /// Exposed (non-overlapped) weight-transfer time.
+    pub comm_w: Time,
+    /// Exposed (non-overlapped) gradient NPU→CPU transfer time.
+    pub comm_g: Time,
+    /// Exposed (non-overlapped) ring all-reduce time.
+    pub comm_ar: Time,
+}
+
+impl ClusterStepBreakdown {
+    /// Total step latency.
+    pub fn total(&self) -> Time {
+        self.npu + self.cpu + self.comm_w + self.comm_g + self.comm_ar
+    }
+
+    /// Phase fractions `(npu, cpu, comm_w, comm_g, comm_ar)` summing to 1.
+    pub fn fractions(&self) -> (f64, f64, f64, f64, f64) {
+        let t = self.total().as_ps().max(1) as f64;
+        (
+            self.npu.as_ps() as f64 / t,
+            self.cpu.as_ps() as f64 / t,
+            self.comm_w.as_ps() as f64 / t,
+            self.comm_g.as_ps() as f64 / t,
+            self.comm_ar.as_ps() as f64 / t,
+        )
+    }
+
+    /// Fraction of the step spent on exposed communication
+    /// (`comm_w + comm_g + comm_ar`) — the strong-scaling bottleneck
+    /// metric of the `scaling_1_2_4_8` bench.
+    pub fn exposed_comm_fraction(&self) -> f64 {
+        let (_, _, w, g, ar) = self.fractions();
+        w + g + ar
+    }
+
+    /// The single-system view of this step (drops `comm_ar`); for a
+    /// one-replica cluster this *is* the [`TrainingSystem`] breakdown.
+    pub fn single(&self) -> StepBreakdown {
+        StepBreakdown {
+            npu: self.npu,
+            cpu: self.cpu,
+            comm_w: self.comm_w,
+            comm_g: self.comm_g,
+        }
+    }
+}
+
+/// N-way data-parallel training: one CPU TEE, N lockstep NPU TEEs, and a
+/// secure ring all-reduce for gradient aggregation.
+///
+/// The composition per step:
+///
+/// 1. every replica runs forward + backward on its `1/N` batch shard
+///    (same wall-clock on a homogeneous cluster),
+/// 2. gradients ring-all-reduce across the NPUs under the mode's protocol
+///    ([`RingAllReduce::staged`] vs [`RingAllReduce::direct`]); the direct
+///    protocol overlaps the backward window, the staging protocol
+///    serializes (§3.3),
+/// 3. the reduced fp32 gradient shards stream NPU → CPU (each rank sends
+///    its shard, so the CPU link still carries exactly `grad_bytes`),
+/// 4. the CPU runs Adam on the reduced gradients — optimizer state is not
+///    replicated, so this phase is independent of N,
+/// 5. fp16 weights stream CPU → NPU, then re-broadcast over the ring
+///    pipelined with the CPU→NPU stream: the weight path costs the
+///    *slower* of the two traversals ([`RingAllReduce::broadcast_plain`]
+///    and friends), which collapses to today's CPU-link cost whenever the
+///    ring is at least as fast — and surfaces the fabric as the
+///    bottleneck when it is not (e.g. a slow `Interconnect::Custom`).
+#[derive(Debug)]
+pub struct ClusterSystem {
+    sys: TrainingSystem,
+    cluster: ClusterConfig,
+}
+
+impl ClusterSystem {
+    /// Creates a cluster system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster has zero NPUs.
+    pub fn new(cfg: SystemConfig, cluster: ClusterConfig, mode: SecureMode) -> Self {
+        assert!(cluster.n_npus > 0, "a cluster needs at least one NPU");
+        ClusterSystem {
+            sys: TrainingSystem::new(cfg, mode),
+            cluster,
+        }
+    }
+
+    /// The active mode.
+    pub fn mode(&self) -> SecureMode {
+        self.sys.mode()
+    }
+
+    /// The per-node configuration.
+    pub fn config(&self) -> &SystemConfig {
+        self.sys.config()
+    }
+
+    /// The cluster shape.
+    pub fn cluster(&self) -> &ClusterConfig {
+        &self.cluster
+    }
+
+    /// Cost of ring-all-reducing `grad_bytes` under this mode's protocol.
+    pub fn all_reduce_cost(&self, grad_bytes: u64) -> AllReduceBreakdown {
+        let ring = RingAllReduce::new(self.cluster.n_npus, self.cluster.interconnect);
+        match self.mode() {
+            SecureMode::NonSecure => ring.plain(grad_bytes),
+            SecureMode::SgxMgx => ring.staged(grad_bytes),
+            SecureMode::TensorTee => ring.direct(grad_bytes),
+        }
+    }
+
+    /// Cost of re-broadcasting the `weight_bytes` fp16 update from the
+    /// CPU-attached rank to the other replicas (pipelined ring traversal;
+    /// zero for a single replica).
+    pub fn weight_broadcast_cost(&self, weight_bytes: u64) -> Time {
+        let ring = RingAllReduce::new(self.cluster.n_npus, self.cluster.interconnect);
+        match self.mode() {
+            SecureMode::NonSecure => ring.broadcast_plain(weight_bytes),
+            SecureMode::SgxMgx => ring.broadcast_staged(weight_bytes),
+            SecureMode::TensorTee => ring.broadcast_direct(weight_bytes),
+        }
+        .total()
+    }
+
+    /// Simulates one full data-parallel training step of `model`.
+    pub fn simulate_step(&mut self, model: &ModelConfig) -> ClusterStepBreakdown {
+        let schedule = StepSchedule::of(model);
+        self.simulate_schedule(&schedule)
+    }
+
+    /// Simulates one step from an explicit (global-batch) schedule.
+    pub fn simulate_schedule(&mut self, schedule: &StepSchedule) -> ClusterStepBreakdown {
+        let replica = schedule.data_parallel_replica(self.cluster.n_npus);
+        let npu = self.sys.npu_time(&replica);
+        let cpu = self.sys.cpu_time(&replica);
+        let comm = self.sys.comm_costs(&replica);
+        let ar = self.all_reduce_cost(replica.grad_bytes);
+        // The ring re-broadcast pipelines with the CPU→NPU weight stream,
+        // so the weight path is bounded by the slower traversal.
+        let bcast = self.weight_broadcast_cost(replica.weight_bytes);
+        let weight_path = comm.weight.total().max(bcast);
+        let (comm_ar, comm_g, comm_w) = if self.sys.overlaps() {
+            // The all-reduce starts as backward produces gradient buckets,
+            // hiding in the same ~2/3 backward window the point-to-point
+            // transfer used; the reduced-shard NPU→CPU stream then hides
+            // in whatever window remains (§4.4, Figure 15).
+            let bwd_window = Time::from_ps(npu.as_ps() * 2 / 3);
+            let ar_exposed = exposed_time(bwd_window, ar.total());
+            let window_left = bwd_window.saturating_sub(ar.total());
+            let g = exposed_time(window_left, comm.grad.total());
+            let w = exposed_time(cpu, weight_path);
+            (ar_exposed, g, w)
+        } else {
+            (ar.total(), comm.grad.total(), weight_path)
+        };
+        ClusterStepBreakdown {
+            npu,
+            cpu,
+            comm_w,
+            comm_g,
+            comm_ar,
         }
     }
 }
@@ -275,6 +458,30 @@ mod tests {
         let b = TrainingSystem::new(fast(), SecureMode::NonSecure).simulate_step(&model);
         let (a, c, w, g) = b.fractions();
         assert!((a + c + w + g - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_replica_cluster_matches_single_system() {
+        // The N=1 cluster must reproduce TrainingSystem bit-for-bit in
+        // every mode, with a zero all-reduce phase.
+        let model = by_name("GPT").unwrap();
+        for mode in SecureMode::all() {
+            let single = TrainingSystem::new(fast(), mode).simulate_step(&model);
+            let cluster =
+                ClusterSystem::new(fast(), ClusterConfig::single(), mode).simulate_step(&model);
+            assert_eq!(cluster.comm_ar, Time::ZERO, "{}", mode.label());
+            assert_eq!(cluster.single(), single, "{}", mode.label());
+        }
+    }
+
+    #[test]
+    fn cluster_fractions_sum_to_one() {
+        let model = by_name("GPT").unwrap();
+        let b = ClusterSystem::new(fast(), ClusterConfig::of(4), SecureMode::TensorTee)
+            .simulate_step(&model);
+        let (n, c, w, g, ar) = b.fractions();
+        assert!((n + c + w + g + ar - 1.0).abs() < 1e-9);
+        assert!((b.exposed_comm_fraction() - (w + g + ar)).abs() < 1e-12);
     }
 
     #[test]

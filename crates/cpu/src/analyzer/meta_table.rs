@@ -469,7 +469,7 @@ impl MetaTable {
         // eviction streams the last address routinely drains before other
         // cores' chunks, so we keep the round open until the bitmap is
         // complete — the same exactly-once guarantee, skew-tolerant
-        // (see DESIGN.md "Fidelity & calibration notes").
+        // (see the fidelity preamble of EXPERIMENTS.md).
         if e.flipped.len() as u64 == e.line_count() {
             e.vn += 1;
             e.flipped.clear();

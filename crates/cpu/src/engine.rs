@@ -2,7 +2,7 @@
 //! cache hierarchy, the TEE engine and DRAM, producing the timing and
 //! hit-rate data behind Figures 3, 18, 19 and §6.2.
 //!
-//! Fidelity notes (see DESIGN.md):
+//! Fidelity notes (see the fidelity preamble of EXPERIMENTS.md):
 //! * every 64 B line request flows through the real cache model; only LLC
 //!   misses and dirty write-backs reach the MEE/DRAM — so metadata
 //!   amplification, bandwidth saturation and MLP limits all emerge rather

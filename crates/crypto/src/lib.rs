@@ -1,8 +1,9 @@
 //! # tee-crypto
 //!
 //! Cryptographic building blocks for the TensorTEE memory-encryption
-//! engines, implemented from scratch (no external crypto crates are
-//! available offline):
+//! engines and secure channels (§2.2 counter-mode memory protection,
+//! §4.3 tensor MACs, §4.4 the direct-transfer key agreement), implemented
+//! from scratch (no external crypto crates are available offline):
 //!
 //! * [`aes`] — AES-128 block cipher (FIPS-197), used in counter mode,
 //! * [`ctr`] — counter-mode cacheline encryption with `(PA, VN)` counters

@@ -1,7 +1,7 @@
 //! 8-ary Bonsai Merkle tree over off-chip version numbers (§2.2).
 //!
 //! The SGX-like baseline stores per-cacheline VNs in DRAM; their integrity
-//! is guaranteed by a Merkle tree whose root lives on-chip (BMT [72]: the
+//! is guaranteed by a Merkle tree whose root lives on-chip (BMT \[72\]: the
 //! tree protects only the VNs, MACs protect data directly). Every VN read
 //! triggers a leaf-to-root verification walk — the dominant metadata
 //! overhead TensorTEE eliminates on the CPU side.

@@ -1,6 +1,9 @@
 //! # tee-mem
 //!
-//! The memory substrate shared by the CPU and NPU simulators:
+//! The memory substrate shared by the CPU and NPU simulators. This is the
+//! layer the paper's threat model attacks (§2.2: a physical adversary
+//! snooping and tampering with off-chip DRAM and the memory bus) and the
+//! layer whose timing the TEE overheads of §3.1–§3.2 emerge from:
 //!
 //! * [`addr`] — virtual→physical page mapping. Pages are deliberately
 //!   scattered (Figure 9): physical-address streams are *not* contiguous

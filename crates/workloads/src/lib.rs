@@ -1,16 +1,19 @@
 //! # tee-workloads
 //!
-//! LLM training workloads for the evaluation study:
+//! LLM training workloads for the evaluation study (§5.2, §6.1):
 //!
 //! * [`zoo`] — the twelve Table-2 models (GPT 117M … OPT-6.7B) with their
 //!   batch sizes and architectural shapes,
 //! * [`census`] — the Figure-4 tensor census (optimizer-state tensor
-//!   counts and sizes per model),
+//!   counts and sizes per model) that motivates tensor-granularity
+//!   protection in §2.3,
 //! * [`layers`] — per-step NPU layer specifications (forward + backward
 //!   GEMMs and element-wise work),
 //! * [`zero_offload`] — the ZeRO-Offload step schedule of Figure 1
 //!   (NPU fwd/bwd → fp32 gradient transfer → CPU Adam → fp16 weight
-//!   transfer).
+//!   transfer), plus [`StepSchedule::data_parallel_replica`] — the N-way
+//!   data-parallel variant whose gradients aggregate over the secure ring
+//!   all-reduce in `tee-comm`.
 
 pub mod census;
 pub mod layers;

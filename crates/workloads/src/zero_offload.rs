@@ -85,6 +85,47 @@ impl StepSchedule {
     pub fn adam_bytes(&self) -> u64 {
         self.adam_tensor_sizes.iter().sum::<u64>() * 4
     }
+
+    /// The per-replica schedule for `n_npus`-way data parallelism.
+    ///
+    /// Data parallelism splits the *global batch* across replicas, so the
+    /// batch-dependent quantities shrink by `n_npus` — layer MACs and
+    /// activation bytes (inputs/outputs of forward and backward) — while
+    /// the model-dependent quantities stay full-size on every replica:
+    /// layer weights, the fp32 gradient buffer (now produced by the ring
+    /// all-reduce rather than a single backward), the CPU optimizer
+    /// state, and the fp16 weight update.
+    ///
+    /// `n_npus == 1` returns an exact clone, so a one-replica cluster
+    /// reproduces the single-NPU schedule bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_npus` is zero.
+    pub fn data_parallel_replica(&self, n_npus: u32) -> StepSchedule {
+        assert!(n_npus > 0, "a cluster needs at least one replica");
+        if n_npus == 1 {
+            return self.clone();
+        }
+        let n = u64::from(n_npus);
+        StepSchedule {
+            model: self.model,
+            npu_layers: self
+                .npu_layers
+                .iter()
+                .map(|l| LayerSpec {
+                    kind: l.kind,
+                    macs: (l.macs / n).max(1),
+                    in_bytes: (l.in_bytes / n).max(64),
+                    w_bytes: l.w_bytes,
+                    out_bytes: (l.out_bytes / n).max(64),
+                })
+                .collect(),
+            grad_bytes: self.grad_bytes,
+            adam_tensor_sizes: self.adam_tensor_sizes.clone(),
+            weight_bytes: self.weight_bytes,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -124,5 +165,37 @@ mod tests {
     fn zero_scale_rejected() {
         let s = StepSchedule::of(&by_name("GPT").unwrap());
         let _ = s.scaled(0);
+    }
+
+    #[test]
+    fn replica_of_one_is_identity() {
+        let s = StepSchedule::of(&by_name("GPT2-M").unwrap());
+        let r = s.data_parallel_replica(1);
+        assert_eq!(r.npu_layers, s.npu_layers);
+        assert_eq!(r.grad_bytes, s.grad_bytes);
+        assert_eq!(r.adam_tensor_sizes, s.adam_tensor_sizes);
+        assert_eq!(r.weight_bytes, s.weight_bytes);
+    }
+
+    #[test]
+    fn replica_splits_batch_keeps_model() {
+        let s = StepSchedule::of(&by_name("GPT2-M").unwrap());
+        let r = s.data_parallel_replica(4);
+        assert_eq!(r.npu_layers.len(), s.npu_layers.len());
+        for (a, b) in r.npu_layers.iter().zip(&s.npu_layers) {
+            assert!(a.macs <= b.macs / 4 + 1, "MACs split across replicas");
+            assert_eq!(a.w_bytes, b.w_bytes, "weights replicated");
+        }
+        // Model-size quantities are untouched.
+        assert_eq!(r.grad_bytes, s.grad_bytes);
+        assert_eq!(r.weight_bytes, s.weight_bytes);
+        assert_eq!(r.adam_bytes(), s.adam_bytes());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_replicas_rejected() {
+        let s = StepSchedule::of(&by_name("GPT").unwrap());
+        let _ = s.data_parallel_replica(0);
     }
 }

@@ -1,0 +1,99 @@
+//! Multi-NPU data-parallel training walkthrough: scaling one ZeRO-Offload
+//! step from 1 to N NPUs with secure ring all-reduce gradient aggregation.
+//!
+//! ```sh
+//! cargo run --release --example multi_npu [n_npus]
+//! ```
+//!
+//! Prints (1) the ring all-reduce cost under each protocol, (2) the
+//! two-stream overlap timeline for the direct protocol, and (3) the
+//! strong-scaling table across 1/2/4/8 NPUs for SGX+MGX vs TensorTEE.
+
+use tee_comm::ring::{Interconnect, RingAllReduce};
+use tee_comm::schedule::Timeline;
+use tee_sim::Time;
+use tee_workloads::zoo::by_name;
+use tensortee::experiments::scaling_strong;
+use tensortee::{ClusterConfig, ClusterSystem, SecureMode, SystemConfig};
+
+fn main() {
+    let n: u32 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("n_npus must be a positive integer"))
+        .unwrap_or(4);
+    assert!(n >= 1, "need at least one NPU");
+
+    let cfg = SystemConfig::default();
+    let model = by_name("GPT2-M").expect("Table-2 model");
+    let grad = model.grad_bytes();
+    let ic = Interconnect::default();
+
+    println!(
+        "== Ring all-reduce of {} of gradients across {n} NPUs ({}) ==\n",
+        tee_sim::util::fmt_bytes(grad),
+        ic.label()
+    );
+    let ring = RingAllReduce::new(n, ic);
+    println!(
+        "{:<10} {:>12} {:>14} {:>14} {:>14}",
+        "protocol", "total", "re-encryption", "bus", "decryption"
+    );
+    for (label, b) in [
+        ("plain", ring.plain(grad)),
+        ("staged", ring.staged(grad)),
+        ("direct", ring.direct(grad)),
+    ] {
+        println!(
+            "{label:<10} {:>12} {:>14} {:>14} {:>14}",
+            b.total().to_string(),
+            b.re_encryption.to_string(),
+            b.comm.to_string(),
+            b.decryption.to_string()
+        );
+    }
+    println!(
+        "\neach rank wires {} = 2*(N-1)/N of the gradient buffer\n",
+        tee_sim::util::fmt_bytes(ring.direct(grad).wire_bytes())
+    );
+
+    println!("== One data-parallel step, N={n}, TensorTEE ==\n");
+    let mut sys = ClusterSystem::new(cfg.clone(), ClusterConfig::of(n), SecureMode::TensorTee);
+    let b = sys.simulate_step(&model);
+    let ar = sys.all_reduce_cost(grad);
+    // Figure-15-style two-stream picture: the collective hides inside the
+    // backward window.
+    let bwd = Time::from_ps(b.npu.as_ps() * 2 / 3);
+    let fwd = b.npu - bwd;
+    let mut t = Timeline::new();
+    t.push(0, "fwd", Time::ZERO, fwd);
+    t.push(0, "bwd", fwd, b.npu);
+    t.push(1, "all-reduce", fwd, fwd + ar.total());
+    println!("{}\n", t.render(64));
+    println!(
+        "phases: npu={} cpu={} comm_w={} comm_g={} comm_ar={}  (total {})",
+        b.npu,
+        b.cpu,
+        b.comm_w,
+        b.comm_g,
+        b.comm_ar,
+        b.total()
+    );
+    println!(
+        "exposed communication: {:.1}% of the step\n",
+        b.exposed_comm_fraction() * 100.0
+    );
+
+    println!("== Strong scaling across the cluster (this runs 8 full-step simulations) ==\n");
+    let (_, md) = scaling_strong(
+        &cfg,
+        &model,
+        &[1, 2, 4, 8],
+        &[SecureMode::SgxMgx, SecureMode::TensorTee],
+    );
+    println!("{md}");
+    println!(
+        "\nNote the shape: staging pays the \u{a7}3.3 conversion on every ring hop, so its\n\
+         exposed-comm share climbs until extra NPUs make the step slower; the direct\n\
+         protocol keeps the collective hidden behind backward and keeps scaling."
+    );
+}

@@ -1,6 +1,11 @@
 //! End-to-end system integration: the headline claims of §6 must hold as
 //! *shapes* on the composed simulator (exact factors depend on our
-//! substrate; see EXPERIMENTS.md).
+//! substrate; see EXPERIMENTS.md for the full artifact index).
+//!
+//! This suite covers the paper's single-NPU system; the multi-NPU
+//! data-parallel extension (secure ring all-reduce, strong-scaling
+//! shapes, and the N=1 ≡ single-system equivalence) lives in
+//! `tests/multi_npu.rs`.
 
 use tee_workloads::zoo::{by_name, TABLE2};
 use tensortee::{SecureMode, SystemConfig, TrainingSystem};

@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::ops::{Range, RangeInclusive};
 
-/// Length specification accepted by [`vec`]: an exact length, `lo..hi`, or
+/// Length specification accepted by [`vec()`]: an exact length, `lo..hi`, or
 /// `lo..=hi` (mirrors proptest's `SizeRange` conversions).
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
