@@ -3,104 +3,17 @@
 //! the SGX baseline, and AES bandwidth for the staging protocol.
 
 use criterion::black_box;
-use tee_bench::{banner, criterion_quick};
-use tee_comm::protocol::StagingProtocol;
+use tee_bench::{criterion_quick, run_registered};
 use tee_cpu::analyzer::TenAnalyzerConfig;
 use tee_cpu::{CpuEngine, TeeMode};
-use tee_sim::Time;
 use tee_workloads::zoo::TABLE2;
 use tensortee::experiments::bench_adam_workload;
 use tensortee::SystemConfig;
 
-fn meta_table_capacity_sweep(cfg: &SystemConfig) {
-    banner(
-        "Ablation — Meta Table capacity",
-        "§6.2: beyond 512 simultaneously live tensors the benefit diminishes",
-    );
-    let workload = bench_adam_workload(&TABLE2[1], cfg.sim_scale);
-    eprintln!("| entries | steady hit_in | steady latency |");
-    eprintln!("|---|---|---|");
-    for entries in [32usize, 64, 128, 256, 512, 1024] {
-        let mut e = CpuEngine::new(
-            cfg.cpu.clone(),
-            TeeMode::TensorTee(TenAnalyzerConfig {
-                meta_entries: entries,
-                ..TenAnalyzerConfig::default()
-            }),
-        );
-        let rep = e.run_adam(&workload, 8, 4);
-        let last = rep.iterations.last().unwrap();
-        eprintln!(
-            "| {entries} | {:.2} | {} |",
-            last.hit_in_rate(),
-            last.latency
-        );
-    }
-}
-
-fn filter_threshold_sweep(cfg: &SystemConfig) {
-    banner(
-        "Ablation — Tensor Filter collection threshold",
-        "§4.2 uses 4 addresses; fewer detects faster but with weaker evidence",
-    );
-    let workload = bench_adam_workload(&TABLE2[1], cfg.sim_scale);
-    eprintln!("| threshold | iter-0 hit_all | iter-3 hit_in |");
-    eprintln!("|---|---|---|");
-    for threshold in [2usize, 3, 4, 8] {
-        let mut e = CpuEngine::new(
-            cfg.cpu.clone(),
-            TeeMode::TensorTee(TenAnalyzerConfig {
-                filter_threshold: threshold,
-                ..TenAnalyzerConfig::default()
-            }),
-        );
-        let rep = e.run_adam(&workload, 8, 4);
-        eprintln!(
-            "| {threshold} | {:.2} | {:.2} |",
-            rep.iterations[0].hit_all_rate(),
-            rep.iterations[3].hit_in_rate()
-        );
-    }
-}
-
-fn metadata_cache_sweep(cfg: &SystemConfig) {
-    banner(
-        "Ablation — SGX metadata-cache size",
-        "Table 1 uses 32 KB; the baseline's only defense against Merkle traffic",
-    );
-    let workload = bench_adam_workload(&TABLE2[1], cfg.sim_scale);
-    eprintln!("| metadata cache | steady SGX latency |");
-    eprintln!("|---|---|");
-    for kb in [8u64, 16, 32, 64, 128] {
-        let mut cpu = cfg.cpu.clone();
-        cpu.metadata_cache_bytes = kb << 10;
-        let mut e = CpuEngine::new(cpu, TeeMode::Sgx);
-        let rep = e.run_adam(&workload, 8, 3);
-        eprintln!("| {kb} KB | {} |", rep.steady_latency(1));
-    }
-}
-
-fn aes_bandwidth_sweep() {
-    banner(
-        "Ablation — staging-protocol AES bandwidth",
-        "§3.3: one engine (8 GB/s) starves transfers; more engines trade area",
-    );
-    let bytes = TABLE2[1].grad_bytes();
-    eprintln!("| AES bandwidth | staged transfer total |");
-    eprintln!("|---|---|");
-    for gbs in [4.0f64, 8.0, 16.0, 32.0, 64.0] {
-        let mut p = StagingProtocol::with_aes_bandwidth(gbs * 1e9);
-        eprintln!("| {gbs} GB/s | {} |", p.transfer(Time::ZERO, bytes).total());
-    }
-}
-
 fn main() {
-    let cfg = SystemConfig::default();
-    meta_table_capacity_sweep(&cfg);
-    filter_threshold_sweep(&cfg);
-    metadata_cache_sweep(&cfg);
-    aes_bandwidth_sweep();
+    run_registered("ablations");
 
+    let cfg = SystemConfig::default();
     let mut c = criterion_quick();
     let workload = bench_adam_workload(&TABLE2[1], cfg.sim_scale);
     c.bench_function("ablation/tensortee_128_entries", |b| {

@@ -1,21 +1,16 @@
 //! Figure 3 — CPU TEE (SGX) slowdown on the Adam workload vs. threads.
 
 use criterion::black_box;
-use tee_bench::{banner, criterion_quick};
+use tee_bench::{criterion_quick, run_registered};
 use tee_cpu::{CpuEngine, TeeMode};
 use tee_workloads::zoo::TABLE2;
-use tensortee::experiments::{bench_adam_workload, fig03_cpu_slowdown};
+use tensortee::experiments::bench_adam_workload;
 use tensortee::SystemConfig;
 
 fn main() {
-    let cfg = SystemConfig::default();
-    banner(
-        "Figure 3 — CPU TEE slowdown vs. thread count",
-        "up to 3.7x SGX slowdown; workload turns memory-bound as threads grow",
-    );
-    let (_, md) = fig03_cpu_slowdown(&cfg, &[1, 2, 4, 8]);
-    eprintln!("{md}");
+    run_registered("fig03");
 
+    let cfg = SystemConfig::default();
     let workload = bench_adam_workload(&TABLE2[1], cfg.sim_scale);
     let mut c = criterion_quick();
     c.bench_function("fig03/sgx_adam_8t_iteration", |b| {

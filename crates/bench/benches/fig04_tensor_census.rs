@@ -1,17 +1,12 @@
 //! Figure 4 — access characteristics: tensor numbers and sizes.
 
 use criterion::black_box;
-use tee_bench::{banner, criterion_quick};
+use tee_bench::{criterion_quick, run_registered};
 use tee_workloads::census::TensorCensus;
 use tee_workloads::zoo::TABLE2;
-use tensortee::experiments::fig04_tensor_census;
 
 fn main() {
-    banner(
-        "Figure 4 — Tensor census",
-        "tensor sizes grow to MBytes; tensor counts stay at a few hundred",
-    );
-    eprintln!("{}", fig04_tensor_census());
+    run_registered("fig04");
 
     let mut c = criterion_quick();
     c.bench_function("fig04/census_all_models", |b| {

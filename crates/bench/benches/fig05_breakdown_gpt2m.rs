@@ -2,19 +2,14 @@
 //! non-secure vs. SGX+MGX (and TensorTEE).
 
 use criterion::black_box;
-use tee_bench::{banner, criterion_quick};
+use tee_bench::{criterion_quick, run_registered};
 use tee_workloads::zoo::TABLE2;
-use tensortee::experiments::fig05_breakdown;
 use tensortee::{SecureMode, SystemConfig, TrainingSystem};
 
 fn main() {
-    let cfg = SystemConfig::default();
-    banner(
-        "Figure 5 — GPT2-M phase breakdown",
-        "communication 12% non-secure → 53% under SGX+MGX",
-    );
-    eprintln!("{}", fig05_breakdown(&cfg));
+    run_registered("fig05");
 
+    let cfg = SystemConfig::default();
     let mut c = criterion_quick();
     c.bench_function("fig05/sgx_mgx_step", |b| {
         b.iter(|| {

@@ -1,22 +1,15 @@
 //! Figures 7 & 15 — AES-bound serialization vs. recovered overlap.
 
 use criterion::black_box;
-use tee_bench::{banner, criterion_quick};
+use tee_bench::{criterion_quick, run_registered};
 use tee_comm::protocol::{DirectProtocol, StagingProtocol};
 use tee_sim::Time;
 use tee_workloads::zoo::TABLE2;
-use tensortee::experiments::fig15_overlap;
 
 fn main() {
-    banner(
-        "Figures 7/15 — compute/communication overlap",
-        "baseline serializes behind AES; unified granularity overlaps transfer with compute",
-    );
-    let grad_bytes = TABLE2[1].grad_bytes();
-    // Backward window for GPT2-M at our NPU's pace (~2/3 of fwd+bwd).
-    let bwd = Time::from_ms(600);
-    eprintln!("{}", fig15_overlap(grad_bytes, bwd));
+    run_registered("fig15");
 
+    let grad_bytes = TABLE2[1].grad_bytes();
     let mut c = criterion_quick();
     c.bench_function("fig15/staging_protocol_transfer", |b| {
         b.iter(|| {

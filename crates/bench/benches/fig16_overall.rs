@@ -1,20 +1,14 @@
 //! Figure 16 — overall performance across the Table-2 zoo.
 
 use criterion::black_box;
-use tee_bench::{banner, criterion_quick};
+use tee_bench::{criterion_quick, run_registered};
 use tee_workloads::zoo::TABLE2;
-use tensortee::experiments::fig16_overall;
 use tensortee::{SecureMode, SystemConfig, TrainingSystem};
 
 fn main() {
-    let cfg = SystemConfig::default();
-    banner(
-        "Figure 16 — overall performance (latency/batch + speedup)",
-        "TensorTEE 2.1–5.5x over SGX+MGX (avg 4.0x); 2.1% over non-secure",
-    );
-    let (_, md) = fig16_overall(&cfg, &TABLE2);
-    eprintln!("{md}");
+    run_registered("fig16");
 
+    let cfg = SystemConfig::default();
     let mut c = criterion_quick();
     c.bench_function("fig16/tensortee_step_gpt2m", |b| {
         b.iter(|| {

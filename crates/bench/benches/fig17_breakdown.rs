@@ -1,19 +1,14 @@
 //! Figure 17 — per-model phase breakdown under the three configurations.
 
 use criterion::black_box;
-use tee_bench::{banner, criterion_quick};
+use tee_bench::{criterion_quick, run_registered};
 use tee_workloads::zoo::TABLE2;
-use tensortee::experiments::fig17_breakdown;
 use tensortee::{SecureMode, SystemConfig, TrainingSystem};
 
 fn main() {
-    let cfg = SystemConfig::default();
-    banner(
-        "Figure 17 — bottleneck analysis (per-model breakdown)",
-        "TensorTEE eliminates CPU metadata overhead and exposed transfer time",
-    );
-    eprintln!("{}", fig17_breakdown(&cfg, &TABLE2));
+    run_registered("fig17");
 
+    let cfg = SystemConfig::default();
     let mut c = criterion_quick();
     c.bench_function("fig17/breakdown_three_modes_gpt", |b| {
         b.iter(|| {

@@ -1,22 +1,17 @@
 //! Figure 18 — Meta Table hit rate vs. iteration (cold detection).
 
 use criterion::black_box;
-use tee_bench::{banner, criterion_quick};
+use tee_bench::{criterion_quick, run_registered};
 use tee_cpu::analyzer::TenAnalyzerConfig;
 use tee_cpu::{CpuEngine, TeeMode};
 use tee_workloads::zoo::TABLE2;
-use tensortee::experiments::{bench_adam_workload, fig18_hit_rate};
+use tensortee::experiments::bench_adam_workload;
 use tensortee::SystemConfig;
 
 fn main() {
-    let cfg = SystemConfig::default();
-    banner(
-        "Figure 18 — Meta Table hit rate vs. iteration",
-        "hit_all high after 1 iteration; hit_in 80% by iter 5, 95% by iter 20",
-    );
-    let (_, md) = fig18_hit_rate(&cfg, 20);
-    eprintln!("{md}");
+    run_registered("fig18");
 
+    let cfg = SystemConfig::default();
     let workload = bench_adam_workload(&TABLE2[1], cfg.sim_scale);
     let mut c = criterion_quick();
     c.bench_function("fig18/tensortee_cold_iteration", |b| {

@@ -2,21 +2,16 @@
 //! iterations, at 4 and 8 threads.
 
 use criterion::black_box;
-use tee_bench::{banner, criterion_quick};
+use tee_bench::{criterion_quick, run_registered};
 use tee_cpu::{CpuEngine, SoftVnConfig, TeeMode};
 use tee_workloads::zoo::TABLE2;
-use tensortee::experiments::{bench_adam_workload, fig19_cpu_perf};
+use tensortee::experiments::bench_adam_workload;
 use tensortee::SystemConfig;
 
 fn main() {
-    let cfg = SystemConfig::default();
-    banner(
-        "Figure 19 — CPU performance comparison",
-        "SGX 3.65x @8T; TensorTEE converges to SoftVN-comparable within ~10 iterations",
-    );
-    let (_, md) = fig19_cpu_perf(&cfg, &[4, 8], &[1, 2, 5, 10, 20, 30, 40]);
-    eprintln!("{md}");
+    run_registered("fig19");
 
+    let cfg = SystemConfig::default();
     let workload = bench_adam_workload(&TABLE2[1], cfg.sim_scale);
     let mut c = criterion_quick();
     c.bench_function("fig19/softvn_adam_8t_iteration", |b| {

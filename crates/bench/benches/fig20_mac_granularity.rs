@@ -1,21 +1,15 @@
 //! Figure 20 — NPU MAC granularity sweep vs. delayed tensor verification.
 
 use criterion::black_box;
-use tee_bench::{banner, criterion_quick};
+use tee_bench::{criterion_quick, run_registered};
 use tee_npu::engine::{Layer, NpuEngine};
 use tee_npu::MacScheme;
-use tensortee::experiments::fig20_mac_granularity;
 use tensortee::SystemConfig;
 
 fn main() {
-    let cfg = SystemConfig::default();
-    banner(
-        "Figure 20 — MAC granularity: performance + storage",
-        "fine pays traffic (~12%); coarse pays stalls (13% @4KB); ours ≈2.5% and ~zero storage",
-    );
-    let (_, md) = fig20_mac_granularity(&cfg);
-    eprintln!("{md}");
+    run_registered("fig20");
 
+    let cfg = SystemConfig::default();
     let layers = vec![Layer::elementwise(4 << 20); 8];
     let mut c = criterion_quick();
     c.bench_function("fig20/coarse_4kb_run", |b| {

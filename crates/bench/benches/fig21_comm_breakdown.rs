@@ -1,21 +1,13 @@
 //! Figure 21 — gradient-transfer breakdown and improvement.
 
 use criterion::black_box;
-use tee_bench::{banner, criterion_quick};
+use tee_bench::{criterion_quick, run_registered};
 use tee_comm::protocol::StagingProtocol;
 use tee_sim::Time;
 use tee_workloads::zoo::TABLE2;
-use tensortee::experiments::fig21_comm_breakdown;
-use tensortee::SystemConfig;
 
 fn main() {
-    let cfg = SystemConfig::default();
-    banner(
-        "Figure 21 — gradient-transfer breakdown",
-        "re-encryption/decryption eliminated; 18.7x communication improvement",
-    );
-    let (_, md) = fig21_comm_breakdown(&cfg, &TABLE2);
-    eprintln!("{md}");
+    run_registered("fig21");
 
     let grad = TABLE2[1].grad_bytes();
     let mut c = criterion_quick();

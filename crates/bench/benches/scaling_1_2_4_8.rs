@@ -11,28 +11,17 @@
 //! the collective in the backward window and keeps scaling.
 
 use criterion::black_box;
-use tee_bench::{banner, criterion_quick};
+use tee_bench::{criterion_quick, run_in_context};
 use tee_comm::ring::{Interconnect, RingAllReduce};
-use tee_workloads::zoo::by_name;
-use tensortee::experiments::scaling_strong;
-use tensortee::{SecureMode, SystemConfig};
+use tee_workloads::zoo::TABLE2;
+use tensortee::{RunContext, SecureMode};
 
 fn main() {
-    let cfg = SystemConfig::default();
-    let model = by_name("GPT2-M").expect("Table-2 model");
-    banner(
-        "Strong scaling — 1/2/4/8 NPUs, secure ring all-reduce",
-        "extension: staging's exposed comm grows with N, direct stays flat (cf. §3.3, §4.4)",
-    );
-    let (_, md) = scaling_strong(
-        &cfg,
-        &model,
-        &[1, 2, 4, 8],
-        &[SecureMode::SgxMgx, SecureMode::TensorTee],
-    );
-    eprintln!("{md}");
+    // The historical artifact compares the two secure protocols only.
+    let ctx = RunContext::full().with_modes(vec![SecureMode::SgxMgx, SecureMode::TensorTee]);
+    run_in_context("scaling_strong", &ctx);
 
-    let grad = model.grad_bytes();
+    let grad = TABLE2[1].grad_bytes();
     let mut c = criterion_quick();
     c.bench_function("scaling/ring_all_reduce_staged_8", |b| {
         b.iter(|| {

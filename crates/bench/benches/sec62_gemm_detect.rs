@@ -1,21 +1,15 @@
 //! §6.2 — tiled-GEMM tensor detection (256×256, 64×64 tiles).
 
 use criterion::black_box;
-use tee_bench::{banner, criterion_quick};
+use tee_bench::{criterion_quick, run_registered};
 use tee_cpu::analyzer::TenAnalyzerConfig;
 use tee_cpu::{CpuEngine, GemmWorkload, TeeMode};
-use tensortee::experiments::sec62_gemm_detection;
 use tensortee::SystemConfig;
 
 fn main() {
-    let cfg = SystemConfig::default();
-    banner(
-        "§6.2 — GEMM tensor detection via entry merging",
-        "98.8% hit_in after a single GEMM builds the structures",
-    );
-    let (_, md) = sec62_gemm_detection(&cfg);
-    eprintln!("{md}");
+    run_registered("sec62");
 
+    let cfg = SystemConfig::default();
     let mut c = criterion_quick();
     c.bench_function("sec62/gemm_detection_pass", |b| {
         let gemm = GemmWorkload::new(256, 64);

@@ -1,16 +1,11 @@
 //! §6.5 — hardware overhead of the TenAnalyzer structures.
 
 use criterion::black_box;
-use tee_bench::{banner, criterion_quick};
+use tee_bench::{criterion_quick, run_registered};
 use tensortee::HardwareBudget;
 
 fn main() {
-    banner(
-        "§6.5 — hardware overhead",
-        "512-entry Meta Table + filter + bitmap cache + poison bits = 24 KB, 0.0072 mm² @ 7 nm",
-    );
-    let hw = HardwareBudget::default();
-    eprintln!("{}\n", hw.markdown());
+    run_registered("sec65");
 
     let mut c = criterion_quick();
     c.bench_function("sec65/budget_arithmetic", |b| {

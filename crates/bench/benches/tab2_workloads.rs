@@ -1,35 +1,13 @@
 //! Table 2 — workloads and parameters.
 
 use criterion::black_box;
-use tee_bench::{banner, criterion_quick};
+use tee_bench::{criterion_quick, run_registered};
 use tee_workloads::zoo::TABLE2;
 use tee_workloads::StepSchedule;
 
-fn print_table2() {
-    banner(
-        "Table 2 — Workloads and Parameters",
-        "12 models, 117M–6.7B params",
-    );
-    eprintln!(
-        "| model | # params (nominal) | # params (modeled) | batch | layers | hidden | seq |"
-    );
-    eprintln!("|---|---|---|---|---|---|---|");
-    for m in TABLE2 {
-        eprintln!(
-            "| {} | {} | {} | {} | {} | {} | {} |",
-            m.name,
-            m.nominal_params,
-            m.params(),
-            m.batch_size,
-            m.layers,
-            m.hidden,
-            m.seq_len
-        );
-    }
-}
-
 fn main() {
-    print_table2();
+    run_registered("tab2");
+
     let mut c = criterion_quick();
     c.bench_function("tab2/step_schedule_build", |b| {
         b.iter(|| {

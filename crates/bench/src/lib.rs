@@ -1,15 +1,19 @@
 //! # tee-bench
 //!
 //! Criterion benchmark harness for the paper's evaluation section (§6).
-//! Each bench target in `benches/` regenerates one table or figure —
-//! `fig03_cpu_slowdown` through `fig21_comm_breakdown`, `tab2_workloads`,
-//! the §6.2/§6.5 spot checks, plus the `scaling_1_2_4_8` multi-NPU
-//! strong-scaling extension — printing the paper-formatted artifact once
-//! and then Criterion-timing the underlying simulation kernel. The full
-//! bench → figure/table map lives in EXPERIMENTS.md at the repo root;
-//! the shared experiment runners live in `tensortee::experiments`.
+//! Each bench target in `benches/` regenerates one registered artifact —
+//! `fig03` through `fig21`, `tab2`, the §6.2/§6.5 spot checks, the
+//! ablations, plus the `scaling_strong` multi-NPU extension — by
+//! resolving it from [`tensortee::artifact::registry`] via
+//! [`run_registered`], printing the paper-formatted report, and then
+//! Criterion-timing the underlying simulation kernel. The full bench →
+//! figure/table map lives in EXPERIMENTS.md at the repo root; the
+//! `tensortee` CLI (`cargo run --release --bin tensortee -- list`) drives
+//! the same registry without the kernel timing.
 
 use criterion::Criterion;
+use tensortee::artifact::RunContext;
+use tensortee::report::Report;
 
 /// A short Criterion configuration suitable for simulation kernels
 /// (each sample is itself thousands of simulated events).
@@ -28,10 +32,41 @@ pub fn banner(id: &str, paper_claim: &str) {
     eprintln!("================================================================");
 }
 
+/// Resolves artifact `id` from the registry, runs it under the full
+/// paper-fidelity [`RunContext`], prints the banner and the report, and
+/// returns the report for benches that want the structured values.
+///
+/// # Panics
+///
+/// Panics if `id` is not registered (a bench naming a missing artifact is
+/// a wiring bug, not a runtime condition).
+pub fn run_registered(id: &str) -> Report {
+    run_in_context(id, &RunContext::full())
+}
+
+/// [`run_registered`], but under an explicit context.
+pub fn run_in_context(id: &str, ctx: &RunContext) -> Report {
+    let artifact = tensortee::artifact::find(id)
+        .unwrap_or_else(|| panic!("artifact {id:?} not in the registry"));
+    banner(
+        &format!("{} — {}", artifact.paper_anchor, artifact.title),
+        artifact.claim,
+    );
+    let report = artifact.run(ctx);
+    eprintln!("{}", report.to_markdown());
+    report
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
     fn quick_config_builds() {
         let _ = super::criterion_quick();
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_artifact_panics() {
+        let _ = super::run_registered("not-an-artifact");
     }
 }

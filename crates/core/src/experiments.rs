@@ -1,12 +1,15 @@
-//! Experiment runners — one per paper table/figure.
+//! Experiment runners — one per registered artifact.
 //!
-//! Every function returns a rendered markdown artifact (plus structured
-//! data where benches need it), so `cargo bench` regenerates the paper's
-//! evaluation section. The experiment index lives in EXPERIMENTS.md.
+//! Every runner takes a [`RunContext`] (configuration + sweep knobs) and
+//! returns a structured [`Report`] — named metrics, typed tables, notes —
+//! alongside its typed rows where tests and benches want the raw numbers.
+//! The runners are addressed through [`crate::artifact::registry`]; the
+//! artifact index lives in EXPERIMENTS.md.
 
-use crate::config::{ClusterConfig, SecureMode, SystemConfig};
-use crate::report::{f2, pct, Table};
-use crate::system::{ClusterStepBreakdown, ClusterSystem, TrainingSystem};
+use crate::artifact::RunContext;
+use crate::hw::HardwareBudget;
+use crate::report::{f2, pct, Report, Table};
+use crate::system::{ClusterStepBreakdown, ClusterSystem, StepBreakdown, TrainingSystem};
 use tee_comm::protocol::{DirectProtocol, StagingProtocol};
 use tee_comm::schedule::{overlapped_time, serialized_time, Timeline};
 use tee_cpu::analyzer::TenAnalyzerConfig;
@@ -18,6 +21,14 @@ use tee_sim::Time;
 use tee_workloads::census::TensorCensus;
 use tee_workloads::zoo::{ModelConfig, TABLE2};
 use tee_workloads::StepSchedule;
+
+/// The registry-backed empty report for artifact `id` — metadata has a
+/// single source of truth in [`crate::artifact`].
+fn report_for(id: &str) -> Report {
+    crate::artifact::find(id)
+        .unwrap_or_else(|| panic!("artifact {id:?} not registered"))
+        .new_report()
+}
 
 /// A benchmark-scale Adam workload derived from a model's census,
 /// shrunk so the cacheline-level simulation stays fast while remaining
@@ -49,16 +60,18 @@ impl Fig3Row {
     }
 }
 
-/// Runs the Figure-3 sweep (Adam, 1–8 threads, non-secure vs SGX).
-pub fn fig03_cpu_slowdown(cfg: &SystemConfig, threads: &[u32]) -> (Vec<Fig3Row>, String) {
-    let model = TABLE2[1]; // GPT2-M, the paper's motivating example
-    let workload = bench_adam_workload(&model, cfg.sim_scale);
-    let iters = cfg.cpu_iterations.max(2);
-    let rows: Vec<Fig3Row> = threads
+/// Runs the Figure-3 sweep (Adam on the primary model, non-secure vs SGX,
+/// over `ctx.threads`).
+pub fn fig03_cpu_slowdown(ctx: &RunContext) -> (Vec<Fig3Row>, Report) {
+    let model = ctx.primary_model();
+    let workload = bench_adam_workload(&model, ctx.cfg.sim_scale);
+    let iters = ctx.cfg.cpu_iterations.max(2);
+    let rows: Vec<Fig3Row> = ctx
+        .threads
         .iter()
         .map(|&t| {
-            let mut ns = CpuEngine::new(cfg.cpu.clone(), TeeMode::NonSecure);
-            let mut sgx = CpuEngine::new(cfg.cpu.clone(), TeeMode::Sgx);
+            let mut ns = CpuEngine::new(ctx.cfg.cpu.clone(), TeeMode::NonSecure);
+            let mut sgx = CpuEngine::new(ctx.cfg.cpu.clone(), TeeMode::Sgx);
             Fig3Row {
                 threads: t,
                 non_secure: ns.run_adam(&workload, t, iters).steady_latency(1),
@@ -75,18 +88,26 @@ pub fn fig03_cpu_slowdown(cfg: &SystemConfig, threads: &[u32]) -> (Vec<Fig3Row>,
             format!("{:.2}x", r.slowdown()),
         ]);
     }
-    (rows, table.to_markdown())
+    let mut report = report_for("fig03");
+    report.table(table);
+    report.metric(
+        "max_slowdown",
+        rows.iter().map(Fig3Row::slowdown).fold(0.0, f64::max),
+    );
+    (rows, report)
 }
 
 // ---------------------------------------------------------------------
 // Figure 4 — tensor census.
 // ---------------------------------------------------------------------
 
-/// Renders the Figure-4 census across the Table-2 zoo.
-pub fn fig04_tensor_census() -> String {
+/// Renders the Figure-4 census across `ctx.models`.
+pub fn fig04_tensor_census(ctx: &RunContext) -> Report {
     let mut table = Table::new(["model", "tensor count", "max tensor", "total fp32"]);
-    for m in TABLE2 {
-        let c = TensorCensus::of(&m);
+    let mut max_bytes = 0u64;
+    for m in &ctx.models {
+        let c = TensorCensus::of(m);
+        max_bytes = max_bytes.max(c.max_bytes());
         table.row([
             m.name.to_string(),
             c.count().to_string(),
@@ -94,50 +115,64 @@ pub fn fig04_tensor_census() -> String {
             tee_sim::util::fmt_bytes(c.total_bytes()),
         ]);
     }
-    table.to_markdown()
+    let mut report = report_for("fig04");
+    report.table(table);
+    report.metric("models", ctx.models.len() as f64);
+    report.metric("max_tensor_bytes", max_bytes as f64);
+    report
 }
 
 // ---------------------------------------------------------------------
 // Figures 5 & 17 — phase breakdowns.
 // ---------------------------------------------------------------------
 
-/// Phase-fraction rows for the given models under every mode.
-pub fn breakdown_table(cfg: &SystemConfig, models: &[ModelConfig]) -> String {
-    let mut table = Table::new(["model", "mode", "NPU", "CPU", "Comm W", "Comm G"]);
+/// Phase-fraction rows for the given models under every context mode,
+/// with columns taken from the shared [`StepBreakdown`] phase ledger.
+pub fn breakdown_table(ctx: &RunContext, models: &[ModelConfig]) -> Table {
+    let mut header = vec!["model".to_string(), "mode".to_string()];
+    header.extend(StepBreakdown::PHASES.iter().map(|p| p.to_string()));
+    let mut table = Table::new(header);
     for m in models {
-        for mode in SecureMode::all() {
-            let b = TrainingSystem::new(cfg.clone(), mode).simulate_step(m);
-            let (npu, cpu, w, g) = b.fractions();
-            table.row([
-                m.name.to_string(),
-                mode.label().to_string(),
-                pct(npu),
-                pct(cpu),
-                pct(w),
-                pct(g),
-            ]);
+        for &mode in &ctx.modes {
+            let b = TrainingSystem::new(ctx.cfg.clone(), mode).simulate_step(m);
+            let mut row = vec![m.name.to_string(), mode.label().to_string()];
+            row.extend(b.ledger().fractions().into_iter().map(|(_, f)| pct(f)));
+            table.row(row);
         }
     }
-    table.to_markdown()
+    table
 }
 
-/// Figure 5: the GPT2-M breakdown.
-pub fn fig05_breakdown(cfg: &SystemConfig) -> String {
-    breakdown_table(cfg, &[TABLE2[1]])
+/// Figure 5: the primary-model breakdown.
+pub fn fig05_breakdown(ctx: &RunContext) -> Report {
+    let model = ctx.primary_model();
+    let mut report = report_for("fig05");
+    report.table(breakdown_table(ctx, &[model]));
+    report
 }
 
-/// Figure 17: breakdown across the full zoo.
-pub fn fig17_breakdown(cfg: &SystemConfig, models: &[ModelConfig]) -> String {
-    breakdown_table(cfg, models)
+/// Figure 17: breakdown across the context's model subset.
+pub fn fig17_breakdown(ctx: &RunContext) -> Report {
+    let mut report = report_for("fig17");
+    report.table(breakdown_table(ctx, &ctx.models));
+    report
 }
 
 // ---------------------------------------------------------------------
 // Figure 15 (and 7) — overlap timelines.
 // ---------------------------------------------------------------------
 
-/// Renders the serialized-vs-overlapped timelines for one gradient
-/// transfer against a backward phase.
-pub fn fig15_overlap(grad_bytes: u64, bwd: Time) -> String {
+/// Renders the serialized-vs-overlapped timelines for the primary model's
+/// gradient transfer against a backward phase.
+pub fn fig15_overlap(ctx: &RunContext) -> Report {
+    let model = ctx.primary_model();
+    let grad_bytes = model.grad_bytes();
+    // Backward window for the primary model at our NPU's pace: ~2/3 of
+    // the simulated fwd+bwd phase (same derivation as Figure 21).
+    let schedule = StepSchedule::of(&model);
+    let npu =
+        TrainingSystem::new(ctx.cfg.clone(), crate::SecureMode::TensorTee).npu_time(&schedule);
+    let bwd = Time::from_ps(npu.as_ps() * 2 / 3);
     let staged = StagingProtocol::new().transfer(Time::ZERO, grad_bytes);
     let direct = DirectProtocol::new().transfer(Time::ZERO, grad_bytes);
 
@@ -161,13 +196,20 @@ pub fn fig15_overlap(grad_bytes: u64, bwd: Time) -> String {
     ours.push(0, "backward", Time::ZERO, bwd);
     ours.push(1, "comm", Time::ZERO, direct.comm.min(bwd));
 
-    format!(
-        "Baseline (Figure 7): serialized, total {}\n{}\n\nTensorTEE (Figure 15): overlapped, total {}\n{}\n",
-        serialized_time(bwd, staged.total()),
-        base.render(64),
-        overlapped_time(bwd, direct.comm),
-        ours.render(64),
-    )
+    let serialized = serialized_time(bwd, staged.total());
+    let overlapped = overlapped_time(bwd, direct.comm);
+    let mut report = report_for("fig15");
+    report.note(format!(
+        "Baseline (Figure 7): serialized, total {serialized}\n{}",
+        base.render(64)
+    ));
+    report.note(format!(
+        "\nTensorTEE (Figure 15): overlapped, total {overlapped}\n{}",
+        ours.render(64)
+    ));
+    report.metric("serialized_total_secs", serialized.as_secs_f64());
+    report.metric("overlapped_total_secs", overlapped.as_secs_f64());
+    report
 }
 
 // ---------------------------------------------------------------------
@@ -199,19 +241,21 @@ impl Fig16Row {
     }
 }
 
-/// Runs Figure 16 for the given models.
-pub fn fig16_overall(cfg: &SystemConfig, models: &[ModelConfig]) -> (Vec<Fig16Row>, String) {
-    let rows: Vec<Fig16Row> = models
+/// Runs Figure 16 across `ctx.models`.
+pub fn fig16_overall(ctx: &RunContext) -> (Vec<Fig16Row>, Report) {
+    let cfg = &ctx.cfg;
+    let rows: Vec<Fig16Row> = ctx
+        .models
         .iter()
         .map(|m| Fig16Row {
             model: *m,
-            non_secure: TrainingSystem::new(cfg.clone(), SecureMode::NonSecure)
+            non_secure: TrainingSystem::new(cfg.clone(), crate::SecureMode::NonSecure)
                 .simulate_step(m)
                 .total(),
-            sgx_mgx: TrainingSystem::new(cfg.clone(), SecureMode::SgxMgx)
+            sgx_mgx: TrainingSystem::new(cfg.clone(), crate::SecureMode::SgxMgx)
                 .simulate_step(m)
                 .total(),
-            ours: TrainingSystem::new(cfg.clone(), SecureMode::TensorTee)
+            ours: TrainingSystem::new(cfg.clone(), crate::SecureMode::TensorTee)
                 .simulate_step(m)
                 .total(),
         })
@@ -238,13 +282,18 @@ pub fn fig16_overall(cfg: &SystemConfig, models: &[ModelConfig]) -> (Vec<Fig16Ro
     let overheads: Vec<f64> = rows.iter().map(Fig16Row::overhead).collect();
     let avg_speedup = speedups.iter().sum::<f64>() / speedups.len().max(1) as f64;
     let avg_overhead = overheads.iter().sum::<f64>() / overheads.len().max(1) as f64;
-    let md = format!(
-        "{}\nAverage speedup vs SGX+MGX: {:.2}x (paper: 4.0x)\nAverage overhead vs non-secure: {} (paper: 2.1%)\n",
-        table.to_markdown(),
-        avg_speedup,
+    let mut report = report_for("fig16");
+    report.table(table);
+    report.metric("avg_speedup", avg_speedup);
+    report.metric("avg_overhead", avg_overhead);
+    report.note(format!(
+        "Average speedup vs SGX+MGX: {avg_speedup:.2}x (paper: 4.0x)"
+    ));
+    report.note(format!(
+        "Average overhead vs non-secure: {} (paper: 2.1%)",
         pct(avg_overhead),
-    );
-    (rows, md)
+    ));
+    (rows, report)
 }
 
 // ---------------------------------------------------------------------
@@ -265,15 +314,15 @@ pub struct Fig18Row {
 }
 
 /// Runs Adam under TensorTEE (no preload — cold detection) and samples
-/// per-iteration Meta Table hit rates.
-pub fn fig18_hit_rate(cfg: &SystemConfig, iterations: u32) -> (Vec<Fig18Row>, String) {
-    let workload = bench_adam_workload(&TABLE2[1], cfg.sim_scale);
+/// per-iteration Meta Table hit rates over `ctx.hit_iterations`.
+pub fn fig18_hit_rate(ctx: &RunContext) -> (Vec<Fig18Row>, Report) {
+    let workload = bench_adam_workload(&ctx.primary_model(), ctx.cfg.sim_scale);
     let mut engine = CpuEngine::new(
-        cfg.cpu.clone(),
+        ctx.cfg.cpu.clone(),
         TeeMode::TensorTee(TenAnalyzerConfig::default()),
     );
-    let report = engine.run_adam(&workload, cfg.cpu_threads, iterations);
-    let rows: Vec<Fig18Row> = report
+    let run = engine.run_adam(&workload, ctx.cfg.cpu_threads, ctx.hit_iterations);
+    let rows: Vec<Fig18Row> = run
         .iterations
         .iter()
         .enumerate()
@@ -293,7 +342,13 @@ pub fn fig18_hit_rate(cfg: &SystemConfig, iterations: u32) -> (Vec<Fig18Row>, St
             f2(r.hit_boundary),
         ]);
     }
-    (rows, table.to_markdown())
+    let mut report = report_for("fig18");
+    report.table(table);
+    report.metric(
+        "final_hit_in",
+        rows.last().map(|r| r.hit_in).unwrap_or(f64::NAN),
+    );
+    (rows, report)
 }
 
 // ---------------------------------------------------------------------
@@ -315,28 +370,31 @@ pub struct Fig19Series {
     pub tensortee: Vec<(u32, Time)>,
 }
 
-/// Runs Figure 19 for the given thread counts and iteration checkpoints.
-pub fn fig19_cpu_perf(
-    cfg: &SystemConfig,
-    threads: &[u32],
-    checkpoints: &[u32],
-) -> (Vec<Fig19Series>, String) {
-    let workload = bench_adam_workload(&TABLE2[1], cfg.sim_scale);
-    let max_iter = checkpoints.iter().copied().max().unwrap_or(1);
+/// Runs Figure 19 over `ctx.threads` and `ctx.checkpoints`.
+pub fn fig19_cpu_perf(ctx: &RunContext) -> (Vec<Fig19Series>, Report) {
+    let workload = bench_adam_workload(&ctx.primary_model(), ctx.cfg.sim_scale);
+    let max_iter = ctx.checkpoints.iter().copied().max().unwrap_or(1);
+    // Steady-state baselines need at least two iterations; the context's
+    // iteration budget (3 at full fidelity) controls the warm-up cost.
+    let base_iters = ctx.cfg.cpu_iterations.max(2);
     let mut out = Vec::new();
-    for &t in threads {
-        let mut ns = CpuEngine::new(cfg.cpu.clone(), TeeMode::NonSecure);
-        let non_secure = ns.run_adam(&workload, t, 3).steady_latency(1);
-        let mut sgx = CpuEngine::new(cfg.cpu.clone(), TeeMode::Sgx);
-        let sgx_lat = sgx.run_adam(&workload, t, 3).steady_latency(1);
-        let mut sv = CpuEngine::new(cfg.cpu.clone(), TeeMode::SoftVn(SoftVnConfig::default()));
-        let softvn = sv.run_adam(&workload, t, 3).steady_latency(1);
+    for &t in &ctx.threads {
+        let mut ns = CpuEngine::new(ctx.cfg.cpu.clone(), TeeMode::NonSecure);
+        let non_secure = ns.run_adam(&workload, t, base_iters).steady_latency(1);
+        let mut sgx = CpuEngine::new(ctx.cfg.cpu.clone(), TeeMode::Sgx);
+        let sgx_lat = sgx.run_adam(&workload, t, base_iters).steady_latency(1);
+        let mut sv = CpuEngine::new(
+            ctx.cfg.cpu.clone(),
+            TeeMode::SoftVn(SoftVnConfig::default()),
+        );
+        let softvn = sv.run_adam(&workload, t, base_iters).steady_latency(1);
         let mut tt = CpuEngine::new(
-            cfg.cpu.clone(),
+            ctx.cfg.cpu.clone(),
             TeeMode::TensorTee(TenAnalyzerConfig::default()),
         );
         let rep = tt.run_adam(&workload, t, max_iter);
-        let tensortee = checkpoints
+        let tensortee = ctx
+            .checkpoints
             .iter()
             .map(|&c| {
                 let idx = (c as usize).min(rep.iterations.len()) - 1;
@@ -365,7 +423,15 @@ pub fn fig19_cpu_perf(
             ]);
         }
     }
-    (out, table.to_markdown())
+    let mut report = report_for("fig19");
+    report.table(table);
+    if let Some(s) = out.last() {
+        report.metric(
+            "sgx_slowdown_max_threads",
+            s.sgx.as_secs_f64() / s.non_secure.as_secs_f64(),
+        );
+    }
+    (out, report)
 }
 
 // ---------------------------------------------------------------------
@@ -384,9 +450,10 @@ pub struct Fig20Row {
     pub storage: f64,
 }
 
-/// Runs the Figure-20 granularity sweep over a transformer layer mix.
-pub fn fig20_mac_granularity(cfg: &SystemConfig) -> (Vec<Fig20Row>, String) {
-    let schedule = StepSchedule::of(&TABLE2[1]).scaled(64);
+/// Runs the Figure-20 granularity sweep over the primary model's
+/// transformer layer mix.
+pub fn fig20_mac_granularity(ctx: &RunContext) -> (Vec<Fig20Row>, Report) {
+    let schedule = StepSchedule::of(&ctx.primary_model()).scaled(64);
     let layers: Vec<NpuLayer> = schedule
         .npu_layers
         .iter()
@@ -400,7 +467,7 @@ pub fn fig20_mac_granularity(cfg: &SystemConfig) -> (Vec<Fig20Row>, String) {
     let rows: Vec<Fig20Row> = figure20_sweep()
         .into_iter()
         .map(|scheme| {
-            let slowdown = NpuEngine::new(cfg.npu.clone(), scheme).slowdown(&layers);
+            let slowdown = NpuEngine::new(ctx.cfg.npu.clone(), scheme).slowdown(&layers);
             Fig20Row {
                 label: scheme.label(),
                 slowdown,
@@ -416,7 +483,12 @@ pub fn fig20_mac_granularity(cfg: &SystemConfig) -> (Vec<Fig20Row>, String) {
             pct(r.storage),
         ]);
     }
-    (rows, table.to_markdown())
+    let mut report = report_for("fig20");
+    report.table(table);
+    if let Some(ours) = rows.iter().find(|r| r.label == "tensor-delayed") {
+        report.metric("tensor_delayed_slowdown", ours.slowdown);
+    }
+    (rows, report)
 }
 
 // ---------------------------------------------------------------------
@@ -454,16 +526,17 @@ impl Fig21Row {
     }
 }
 
-/// Runs Figure 21 for the given models.
-pub fn fig21_comm_breakdown(cfg: &SystemConfig, models: &[ModelConfig]) -> (Vec<Fig21Row>, String) {
-    let rows: Vec<Fig21Row> = models
+/// Runs Figure 21 across `ctx.models`.
+pub fn fig21_comm_breakdown(ctx: &RunContext) -> (Vec<Fig21Row>, Report) {
+    let rows: Vec<Fig21Row> = ctx
+        .models
         .iter()
         .map(|m| {
             let schedule = StepSchedule::of(m);
             let staged = StagingProtocol::new().transfer(Time::ZERO, schedule.grad_bytes);
             let direct = DirectProtocol::new().transfer(Time::ZERO, schedule.grad_bytes);
             // Overlap window: the backward phase under TensorTEE.
-            let sys = TrainingSystem::new(cfg.clone(), SecureMode::TensorTee);
+            let sys = TrainingSystem::new(ctx.cfg.clone(), crate::SecureMode::TensorTee);
             let npu = sys.npu_time(&schedule);
             let bwd_window = Time::from_ps(npu.as_ps() * 2 / 3);
             Fig21Row {
@@ -497,11 +570,13 @@ pub fn fig21_comm_breakdown(cfg: &SystemConfig, models: &[ModelConfig]) -> (Vec<
         ]);
     }
     let avg: f64 = rows.iter().map(Fig21Row::improvement).sum::<f64>() / rows.len().max(1) as f64;
-    let md = format!(
-        "{}\nAverage communication improvement: {avg:.1}x (paper: 18.7x)\n",
-        table.to_markdown()
-    );
-    (rows, md)
+    let mut report = report_for("fig21");
+    report.table(table);
+    report.metric("avg_improvement", avg);
+    report.note(format!(
+        "Average communication improvement: {avg:.1}x (paper: 18.7x)"
+    ));
+    (rows, report)
 }
 
 // ---------------------------------------------------------------------
@@ -510,20 +585,177 @@ pub fn fig21_comm_breakdown(cfg: &SystemConfig, models: &[ModelConfig]) -> (Vec<
 
 /// Runs the §6.2 GEMM experiment: 256×256 matrix, 64×64 tiles; one GEMM
 /// builds the structures, the next measures hit_in (paper: 98.8%).
-pub fn sec62_gemm_detection(cfg: &SystemConfig) -> (f64, String) {
+pub fn sec62_gemm_detection(ctx: &RunContext) -> (f64, Report) {
     let mut engine = CpuEngine::new(
-        cfg.cpu.clone(),
+        ctx.cfg.cpu.clone(),
         TeeMode::TensorTee(TenAnalyzerConfig::default()),
     );
     let gemm = GemmWorkload::new(256, 64);
     let _build = engine.run_gemm(&gemm);
     let measured = engine.run_gemm(&gemm);
     let rate = measured.hit_in_rate();
-    let md = format!(
-        "GEMM 256x256, 64x64 tiles: hit_in after structure construction = {} (paper: 98.8%)\n",
+    let mut report = report_for("sec62");
+    report.metric("hit_in", rate);
+    report.note(format!(
+        "GEMM 256x256, 64x64 tiles: hit_in after structure construction = {} (paper: 98.8%)",
         pct(rate)
-    );
-    (rate, md)
+    ));
+    (rate, report)
+}
+
+// ---------------------------------------------------------------------
+// §6.5 — hardware overhead.
+// ---------------------------------------------------------------------
+
+/// Regenerates the §6.5 TenAnalyzer hardware budget.
+pub fn sec65_hw_overhead(_ctx: &RunContext) -> Report {
+    let hw = HardwareBudget::default();
+    let mut report = report_for("sec65");
+    report.table(hw.table());
+    report.metric("total_kb", hw.total_bytes() as f64 / 1024.0);
+    report.metric("area_mm2", hw.area_mm2());
+    report
+}
+
+// ---------------------------------------------------------------------
+// Table 2 — workloads and parameters.
+// ---------------------------------------------------------------------
+
+/// Renders Table 2: the full model zoo and its per-model parameters
+/// (always the complete zoo — it is static data, independent of the
+/// context's model subset).
+pub fn tab2_workloads(_ctx: &RunContext) -> Report {
+    let mut table = Table::new([
+        "model",
+        "# params (nominal)",
+        "# params (modeled)",
+        "batch",
+        "layers",
+        "hidden",
+        "seq",
+    ]);
+    for m in TABLE2 {
+        table.row([
+            m.name.to_string(),
+            m.nominal_params.to_string(),
+            m.params().to_string(),
+            m.batch_size.to_string(),
+            m.layers.to_string(),
+            m.hidden.to_string(),
+            m.seq_len.to_string(),
+        ]);
+    }
+    let mut report = report_for("tab2");
+    report.table(table);
+    report.metric("models", TABLE2.len() as f64);
+    report
+}
+
+// ---------------------------------------------------------------------
+// Ablations — design-choice sweeps (Meta Table capacity, filter
+// threshold, SGX metadata cache, staging AES bandwidth).
+// ---------------------------------------------------------------------
+
+/// Runs the four design-choice ablation sweeps. Under a fast context the
+/// sweep points are thinned but every sweep still runs.
+pub fn ablations(ctx: &RunContext) -> Report {
+    let workload = bench_adam_workload(&ctx.primary_model(), ctx.cfg.sim_scale);
+    let threads = ctx.cfg.cpu_threads;
+    // Detection sweeps sample iteration `detect_iters - 1`; the fast
+    // context settles for the second iteration instead of the fourth.
+    let detect_iters: u32 = if ctx.fast { 2 } else { 4 };
+    let mut report = report_for("ablations");
+
+    // Meta Table capacity: beyond 512 simultaneously live tensors the
+    // benefit diminishes (§6.2).
+    let entries_sweep: &[usize] = if ctx.fast {
+        &[64, 512]
+    } else {
+        &[32, 64, 128, 256, 512, 1024]
+    };
+    let mut t = Table::new(["entries", "steady hit_in", "steady latency"])
+        .captioned("Ablation — Meta Table capacity (§6.2)");
+    for &entries in entries_sweep {
+        let mut e = CpuEngine::new(
+            ctx.cfg.cpu.clone(),
+            TeeMode::TensorTee(TenAnalyzerConfig {
+                meta_entries: entries,
+                ..TenAnalyzerConfig::default()
+            }),
+        );
+        let rep = e.run_adam(&workload, threads, detect_iters);
+        let last = rep.iterations.last().unwrap();
+        t.row([
+            entries.to_string(),
+            f2(last.hit_in_rate()),
+            last.latency.to_string(),
+        ]);
+    }
+    report.table(t);
+
+    // Tensor Filter collection threshold: §4.2 uses 4 addresses; fewer
+    // detects faster but with weaker evidence.
+    let threshold_sweep: &[usize] = if ctx.fast { &[2, 4] } else { &[2, 3, 4, 8] };
+    let mut t = Table::new([
+        "threshold".to_string(),
+        "iter-0 hit_all".to_string(),
+        format!("iter-{} hit_in", detect_iters - 1),
+    ])
+    .captioned("Ablation — Tensor Filter collection threshold (§4.2)");
+    for &threshold in threshold_sweep {
+        let mut e = CpuEngine::new(
+            ctx.cfg.cpu.clone(),
+            TeeMode::TensorTee(TenAnalyzerConfig {
+                filter_threshold: threshold,
+                ..TenAnalyzerConfig::default()
+            }),
+        );
+        let rep = e.run_adam(&workload, threads, detect_iters);
+        t.row([
+            threshold.to_string(),
+            f2(rep.iterations[0].hit_all_rate()),
+            f2(rep.iterations[(detect_iters - 1) as usize].hit_in_rate()),
+        ]);
+    }
+    report.table(t);
+
+    // SGX metadata-cache size: Table 1 uses 32 KB — the baseline's only
+    // defense against Merkle traffic.
+    let cache_sweep: &[u64] = if ctx.fast {
+        &[16, 32]
+    } else {
+        &[8, 16, 32, 64, 128]
+    };
+    let mut t = Table::new(["metadata cache", "steady SGX latency"])
+        .captioned("Ablation — SGX metadata-cache size (Table 1)");
+    for &kb in cache_sweep {
+        let mut cpu = ctx.cfg.cpu.clone();
+        cpu.metadata_cache_bytes = kb << 10;
+        let mut e = CpuEngine::new(cpu, TeeMode::Sgx);
+        let rep = e.run_adam(&workload, threads, ctx.cfg.cpu_iterations.max(2));
+        t.row([format!("{kb} KB"), rep.steady_latency(1).to_string()]);
+    }
+    report.table(t);
+
+    // Staging-protocol AES bandwidth: one engine (8 GB/s) starves
+    // transfers; more engines trade area (§3.3).
+    let aes_sweep: &[f64] = if ctx.fast {
+        &[8.0, 32.0]
+    } else {
+        &[4.0, 8.0, 16.0, 32.0, 64.0]
+    };
+    let grad_bytes = ctx.primary_model().grad_bytes();
+    let mut t = Table::new(["AES bandwidth", "staged transfer total"])
+        .captioned("Ablation — staging-protocol AES bandwidth (§3.3)");
+    for &gbs in aes_sweep {
+        let mut p = StagingProtocol::with_aes_bandwidth(gbs * 1e9);
+        t.row([
+            format!("{gbs} GB/s"),
+            p.transfer(Time::ZERO, grad_bytes).total().to_string(),
+        ]);
+    }
+    report.table(t);
+    report
 }
 
 // ---------------------------------------------------------------------
@@ -536,7 +768,7 @@ pub struct ScalingRow {
     /// Data-parallel NPU replicas.
     pub n_npus: u32,
     /// Security mode.
-    pub mode: SecureMode,
+    pub mode: crate::SecureMode,
     /// Full per-phase breakdown.
     pub breakdown: ClusterStepBreakdown,
     /// Bytes each rank puts on the ring (`2·(N−1)/N·grad_bytes`).
@@ -551,25 +783,23 @@ impl ScalingRow {
     }
 }
 
-/// Runs the strong-scaling sweep: a fixed global batch of `model` split
-/// across each cluster size in `sizes`, under each mode in `modes`.
+/// Runs the strong-scaling sweep: a fixed global batch of the primary
+/// model split across each size in `ctx.cluster_sizes`, under each mode
+/// in `ctx.modes`.
 ///
-/// The table reports step time, speedup over the same mode's single-NPU
-/// step, the exposed-communication fraction, and the per-rank all-reduce
-/// wire bytes. The shapes to look for: the staging protocol's exposed-comm
-/// fraction grows with N (every ring hop pays the §3.3 conversion, while
-/// per-replica compute shrinks), whereas the direct protocol's stays
-/// roughly flat because the collective hides in the backward window.
-pub fn scaling_strong(
-    cfg: &SystemConfig,
-    model: &ModelConfig,
-    sizes: &[u32],
-    modes: &[SecureMode],
-) -> (Vec<ScalingRow>, String) {
+/// The table reports step time, speedup over the same mode's smallest
+/// cluster, the exposed-communication fraction, and the per-rank
+/// all-reduce wire bytes. The shapes to look for: the staging protocol's
+/// exposed-comm fraction grows with N (every ring hop pays the §3.3
+/// conversion, while per-replica compute shrinks), whereas the direct
+/// protocol's stays roughly flat because the collective hides in the
+/// backward window.
+pub fn scaling_strong(ctx: &RunContext) -> (Vec<ScalingRow>, Report) {
+    let model = ctx.primary_model();
     let mut rows = Vec::new();
     // The speedup baseline is each mode's first cluster size — label the
     // column accordingly so a sweep not starting at 1 stays honest.
-    let base_n = sizes.first().copied().unwrap_or(1);
+    let base_n = ctx.cluster_sizes.first().copied().unwrap_or(1);
     let mut table = Table::new([
         "NPUs".to_string(),
         "mode".to_string(),
@@ -578,12 +808,11 @@ pub fn scaling_strong(
         "exposed comm".to_string(),
         "AR wire bytes/rank".to_string(),
     ]);
-    for &mode in modes {
+    for &mode in &ctx.modes {
         let mut base: Option<ScalingRow> = None;
-        for &n in sizes {
-            let cluster = ClusterConfig::of(n);
-            let mut sys = ClusterSystem::new(cfg.clone(), cluster, mode);
-            let breakdown = sys.simulate_step(model);
+        for &n in &ctx.cluster_sizes {
+            let mut sys = ClusterSystem::new(ctx.cfg.clone(), ctx.cluster_of(n), mode);
+            let breakdown = sys.simulate_step(&model);
             let ar = sys.all_reduce_cost(model.grad_bytes());
             let row = ScalingRow {
                 n_npus: n,
@@ -603,24 +832,28 @@ pub fn scaling_strong(
             rows.push(row);
         }
     }
-    (rows, table.to_markdown())
+    let mut report = report_for("scaling_strong");
+    report.table(table);
+    (rows, report)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SecureMode;
 
-    fn cfg() -> SystemConfig {
-        SystemConfig::fast_sim()
+    fn ctx() -> RunContext {
+        RunContext::fast()
     }
 
     #[test]
     fn fig03_slowdown_grows_with_threads() {
-        let (rows, md) = fig03_cpu_slowdown(&cfg(), &[1, 4]);
-        assert!(md.contains("slowdown"));
+        let (rows, report) = fig03_cpu_slowdown(&ctx());
+        assert!(report.to_markdown().contains("slowdown"));
+        assert!(report.metric_value("max_slowdown").unwrap() > 1.0);
         assert!(rows.iter().all(|r| r.slowdown() > 1.0));
         assert!(
-            rows[1].slowdown() > rows[0].slowdown(),
+            rows.last().unwrap().slowdown() > rows[0].slowdown(),
             "more threads → more memory pressure → bigger SGX slowdown: {:?}",
             rows.iter().map(Fig3Row::slowdown).collect::<Vec<_>>()
         );
@@ -628,34 +861,36 @@ mod tests {
 
     #[test]
     fn fig04_census_renders_all_models() {
-        let md = fig04_tensor_census();
+        let md = fig04_tensor_census(&RunContext::full()).to_markdown();
         assert!(md.contains("GPT2-M"));
         assert!(md.contains("OPT-6.7B"));
     }
 
     #[test]
     fn fig15_timelines_render() {
-        let art = fig15_overlap(1 << 30, Time::from_ms(50));
-        assert!(art.contains("Baseline"));
-        assert!(art.contains("TensorTEE"));
-        assert!(art.contains("backward"));
+        let md = fig15_overlap(&ctx()).to_markdown();
+        assert!(md.contains("Baseline"));
+        assert!(md.contains("TensorTEE"));
+        assert!(md.contains("backward"));
     }
 
     #[test]
     fn fig16_shapes_hold_on_subset() {
-        let models = [TABLE2[0], TABLE2[8]];
-        let (rows, md) = fig16_overall(&cfg(), &models);
-        assert!(md.contains("speedup"));
+        let (rows, report) = fig16_overall(&ctx());
+        assert!(report.to_markdown().contains("speedup"));
         for r in &rows {
             assert!(r.speedup() > 1.5, "{}: {:.2}", r.model.name, r.speedup());
             assert!(r.overhead() < 0.25, "{}: {:.3}", r.model.name, r.overhead());
         }
-        assert!(rows[1].speedup() > rows[0].speedup(), "grows with size");
+        let last = rows.last().unwrap();
+        assert!(last.speedup() > rows[0].speedup(), "grows with size");
+        let avg = report.metric_value("avg_speedup").unwrap();
+        assert!(avg > 1.5, "{avg}");
     }
 
     #[test]
     fn fig18_converges() {
-        let (rows, _) = fig18_hit_rate(&cfg(), 6);
+        let (rows, _) = fig18_hit_rate(&ctx());
         let last = rows.last().unwrap();
         assert!(last.hit_in > 0.8, "late hit_in {}", last.hit_in);
         assert!(rows[1].hit_all > 0.5, "hit_all high after one iteration");
@@ -663,40 +898,66 @@ mod tests {
 
     #[test]
     fn fig20_sweep_shape() {
-        let (rows, md) = fig20_mac_granularity(&cfg());
-        assert!(md.contains("tensor-delayed"));
+        let (rows, report) = fig20_mac_granularity(&ctx());
+        assert!(report.to_markdown().contains("tensor-delayed"));
         let find = |l: &str| rows.iter().find(|r| r.label == l).unwrap().slowdown;
         assert!(find("64B") > find("512B"));
         assert!(find("4kB") > find("512B"));
         assert!(find("tensor-delayed") < 1.05);
+        assert_eq!(
+            report.metric_value("tensor_delayed_slowdown"),
+            Some(find("tensor-delayed"))
+        );
     }
 
     #[test]
     fn fig21_improvement_large() {
-        let (rows, md) = fig21_comm_breakdown(&cfg(), &[TABLE2[1]]);
-        assert!(md.contains("improvement"));
+        let context = ctx().with_models(vec![TABLE2[1]]);
+        let (rows, report) = fig21_comm_breakdown(&context);
+        assert!(report.to_markdown().contains("improvement"));
         assert!(rows[0].improvement() > 5.0, "{:.1}", rows[0].improvement());
     }
 
     #[test]
     fn sec62_hit_rate_high() {
-        let (rate, md) = sec62_gemm_detection(&cfg());
+        let (rate, report) = sec62_gemm_detection(&ctx());
         assert!(rate > 0.95, "{rate}");
-        assert!(md.contains("98.8%"));
+        assert!(report.to_markdown().contains("98.8%"));
+        assert_eq!(report.metric_value("hit_in"), Some(rate));
+    }
+
+    #[test]
+    fn sec65_and_tab2_render() {
+        let md = sec65_hw_overhead(&ctx()).to_markdown();
+        assert!(md.contains("Meta Table"));
+        assert!(md.contains("KB"));
+        let md = tab2_workloads(&ctx()).to_markdown();
+        assert!(md.contains("OPT-6.7B"));
+        assert!(md.contains("hidden"));
+    }
+
+    #[test]
+    fn ablations_sweeps_render() {
+        let md = ablations(&ctx()).to_markdown();
+        assert!(md.contains("Meta Table capacity"));
+        assert!(md.contains("Tensor Filter collection threshold"));
+        assert!(md.contains("metadata-cache size"));
+        assert!(md.contains("AES bandwidth"));
     }
 
     #[test]
     fn scaling_table_shape() {
-        let model = TABLE2[0]; // GPT 117M keeps the sweep fast.
-        let (rows, md) = scaling_strong(
-            &cfg(),
-            &model,
-            &[1, 4],
-            &[SecureMode::SgxMgx, SecureMode::TensorTee],
+        // GPT 117M keeps the sweep fast.
+        let context = ctx()
+            .with_models(vec![TABLE2[0]])
+            .with_modes(vec![SecureMode::SgxMgx, SecureMode::TensorTee]);
+        let (rows, report) = scaling_strong(&context);
+        assert_eq!(
+            rows.len(),
+            context.modes.len() * context.cluster_sizes.len()
         );
-        assert_eq!(rows.len(), 4);
-        assert!(md.contains("exposed comm"));
-        // N=1 rows have no ring traffic; N=4 rows do.
+        assert!(report.to_markdown().contains("exposed comm"));
+        // N=1 rows have no ring traffic; N>1 rows do.
         for r in &rows {
             if r.n_npus == 1 {
                 assert_eq!(r.ar_wire_bytes, 0);

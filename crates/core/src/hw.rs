@@ -5,6 +5,7 @@
 //! Tensor Filter, a 6 KB bitmap cache and 512 poison bits. This module
 //! reproduces the arithmetic so the budget is regenerated, not quoted.
 
+use crate::report::Table;
 use serde::Serialize;
 
 /// Bit widths of one Meta Table entry (§6.5).
@@ -107,25 +108,36 @@ impl HardwareBudget {
         self.total_bytes() as f64 / 1024.0 * MM2_PER_KB
     }
 
-    /// Markdown summary (printed by the §6.5 bench).
-    pub fn markdown(&self) -> String {
-        format!(
-            "| Component | Storage |\n|---|---|\n\
-             | Meta Table ({} × {} b) | {} B |\n\
-             | Tensor Filter ({} entries) | {} B |\n\
-             | Bitmap cache | {} B |\n\
-             | Poison bits | {} B |\n\
-             | **Total** | **{:.1} KB ({:.4} mm² @ 7 nm)** |",
-            self.meta_entries,
-            self.entry_bits.total(),
-            self.meta_table_bytes(),
-            self.filter_entries,
-            self.filter_bytes(),
-            self.bitmap_cache_bytes,
-            self.poison_bytes(),
-            self.total_bytes() as f64 / 1024.0,
-            self.area_mm2(),
-        )
+    /// The budget as a component/storage [`Table`] — the single rendering
+    /// the `sec65` artifact report ingests.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(["component", "storage"]);
+        t.row([
+            format!(
+                "Meta Table ({} x {} b)",
+                self.meta_entries,
+                self.entry_bits.total()
+            ),
+            format!("{} B", self.meta_table_bytes()),
+        ]);
+        t.row([
+            format!("Tensor Filter ({} entries)", self.filter_entries),
+            format!("{} B", self.filter_bytes()),
+        ]);
+        t.row([
+            "Bitmap cache".into(),
+            format!("{} B", self.bitmap_cache_bytes),
+        ]);
+        t.row(["Poison bits".into(), format!("{} B", self.poison_bytes())]);
+        t.row([
+            "Total".into(),
+            format!(
+                "{:.1} KB ({:.4} mm2 @ 7 nm)",
+                self.total_bytes() as f64 / 1024.0,
+                self.area_mm2()
+            ),
+        ]);
+        t
     }
 }
 
@@ -153,6 +165,15 @@ mod tests {
     fn area_matches_paper_coefficient() {
         let b = HardwareBudget::default();
         assert!((b.area_mm2() - 0.0072).abs() < 0.0012);
+    }
+
+    #[test]
+    fn table_lists_every_component_and_total() {
+        let t = HardwareBudget::default().table();
+        assert_eq!(t.len(), 5);
+        let md = t.to_markdown();
+        assert!(md.contains("Meta Table (512 x 280 b)"));
+        assert!(md.contains("24.0 KB"));
     }
 
     #[test]

@@ -18,15 +18,35 @@
 //! let step = sys.simulate_step(&model);
 //! assert!(step.total() > tee_sim::Time::ZERO);
 //! ```
+//!
+//! ## The artifact registry
+//!
+//! Every paper table/figure is a named [`artifact::Artifact`] returning a
+//! structured [`report::Report`] (markdown + JSON):
+//!
+//! ```
+//! use tensortee::artifact::{find, RunContext};
+//!
+//! let report = find("sec65").unwrap().run(&RunContext::fast());
+//! assert!(report.to_markdown().contains("Meta Table"));
+//! assert!(tensortee::json::is_well_formed(&report.to_json().to_string()));
+//! ```
+//!
+//! The `tensortee` CLI (`cargo run --release --bin tensortee -- list`)
+//! drives the same registry from the command line.
 
+pub mod artifact;
 pub mod config;
 pub mod experiments;
 pub mod hw;
+pub mod json;
 pub mod report;
 pub mod session;
 pub mod system;
 
+pub use artifact::{Artifact, RunContext};
 pub use config::{ClusterConfig, SecureMode, SystemConfig};
 pub use hw::HardwareBudget;
+pub use report::{PhaseLedger, Report};
 pub use session::SecureSession;
 pub use system::{ClusterStepBreakdown, ClusterSystem, StepBreakdown, TrainingSystem};

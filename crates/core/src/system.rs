@@ -20,6 +20,7 @@
 //! [`TrainingSystem`] bit-for-bit.
 
 use crate::config::{ClusterConfig, SecureMode, SystemConfig};
+use crate::report::PhaseLedger;
 use tee_comm::protocol::{DirectProtocol, StagingProtocol, TransferBreakdown};
 use tee_comm::ring::{AllReduceBreakdown, RingAllReduce};
 use tee_comm::schedule::exposed_time;
@@ -47,20 +48,30 @@ pub struct StepBreakdown {
 }
 
 impl StepBreakdown {
+    /// The phase labels, in ledger/report order.
+    pub const PHASES: [&'static str; 4] = ["NPU", "CPU", "Comm W", "Comm G"];
+
+    /// The ordered phase ledger behind this breakdown; `total()` and
+    /// `fractions()` delegate here, and [`crate::report::Report`] ingests
+    /// it directly.
+    pub fn ledger(&self) -> PhaseLedger {
+        PhaseLedger::from_entries([
+            (Self::PHASES[0], self.npu),
+            (Self::PHASES[1], self.cpu),
+            (Self::PHASES[2], self.comm_w),
+            (Self::PHASES[3], self.comm_g),
+        ])
+    }
+
     /// Total step latency.
     pub fn total(&self) -> Time {
-        self.npu + self.cpu + self.comm_w + self.comm_g
+        self.ledger().total()
     }
 
     /// Phase fractions `(npu, cpu, comm_w, comm_g)` summing to 1.
     pub fn fractions(&self) -> (f64, f64, f64, f64) {
-        let t = self.total().as_ps().max(1) as f64;
-        (
-            self.npu.as_ps() as f64 / t,
-            self.cpu.as_ps() as f64 / t,
-            self.comm_w.as_ps() as f64 / t,
-            self.comm_g.as_ps() as f64 / t,
-        )
+        let f = self.ledger().fractions();
+        (f[0].1, f[1].1, f[2].1, f[3].1)
     }
 }
 
@@ -248,21 +259,32 @@ pub struct ClusterStepBreakdown {
 }
 
 impl ClusterStepBreakdown {
+    /// The phase labels, in ledger/report order: the single-system phases
+    /// plus the ring all-reduce.
+    pub const PHASES: [&'static str; 5] = ["NPU", "CPU", "Comm W", "Comm G", "Comm AR"];
+
+    /// The ordered phase ledger behind this breakdown; `total()` and
+    /// `fractions()` delegate here, and [`crate::report::Report`] ingests
+    /// it directly.
+    pub fn ledger(&self) -> PhaseLedger {
+        PhaseLedger::from_entries([
+            (Self::PHASES[0], self.npu),
+            (Self::PHASES[1], self.cpu),
+            (Self::PHASES[2], self.comm_w),
+            (Self::PHASES[3], self.comm_g),
+            (Self::PHASES[4], self.comm_ar),
+        ])
+    }
+
     /// Total step latency.
     pub fn total(&self) -> Time {
-        self.npu + self.cpu + self.comm_w + self.comm_g + self.comm_ar
+        self.ledger().total()
     }
 
     /// Phase fractions `(npu, cpu, comm_w, comm_g, comm_ar)` summing to 1.
     pub fn fractions(&self) -> (f64, f64, f64, f64, f64) {
-        let t = self.total().as_ps().max(1) as f64;
-        (
-            self.npu.as_ps() as f64 / t,
-            self.cpu.as_ps() as f64 / t,
-            self.comm_w.as_ps() as f64 / t,
-            self.comm_g.as_ps() as f64 / t,
-            self.comm_ar.as_ps() as f64 / t,
-        )
+        let f = self.ledger().fractions();
+        (f[0].1, f[1].1, f[2].1, f[3].1, f[4].1)
     }
 
     /// Fraction of the step spent on exposed communication
@@ -482,6 +504,31 @@ mod tests {
         let (n, c, w, g, ar) = b.fractions();
         assert!((n + c + w + g + ar - 1.0).abs() < 1e-9);
         assert!((b.exposed_comm_fraction() - (w + g + ar)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_matches_fields_bit_for_bit() {
+        // The shared PhaseLedger must reproduce the hand-summed totals
+        // exactly (same Time addition, same order).
+        let model = by_name("GPT2-M").unwrap();
+        let b = TrainingSystem::new(fast(), SecureMode::SgxMgx).simulate_step(&model);
+        let l = b.ledger();
+        assert_eq!(l.total(), b.npu + b.cpu + b.comm_w + b.comm_g);
+        assert_eq!(l.get("NPU"), Some(b.npu));
+        assert_eq!(l.entries().len(), StepBreakdown::PHASES.len());
+        let c = ClusterSystem::new(fast(), ClusterConfig::of(4), SecureMode::SgxMgx)
+            .simulate_step(&model);
+        let cl = c.ledger();
+        assert_eq!(cl.total(), c.npu + c.cpu + c.comm_w + c.comm_g + c.comm_ar);
+        assert_eq!(cl.get("Comm AR"), Some(c.comm_ar));
+        // A one-replica cluster's ledger is the single-system ledger plus
+        // a zero all-reduce entry.
+        let one = ClusterSystem::new(fast(), ClusterConfig::single(), SecureMode::SgxMgx)
+            .simulate_step(&model);
+        assert_eq!(
+            one.single().ledger().total() + one.comm_ar,
+            one.ledger().total()
+        );
     }
 
     #[test]

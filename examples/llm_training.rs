@@ -7,11 +7,10 @@
 //! ```
 
 use tee_workloads::zoo::{by_name, TABLE2};
-use tensortee::experiments::{fig16_overall, fig17_breakdown};
-use tensortee::SystemConfig;
+use tensortee::artifact::find;
+use tensortee::RunContext;
 
 fn main() {
-    let cfg = SystemConfig::default();
     let arg = std::env::args().nth(1);
 
     match arg {
@@ -23,14 +22,18 @@ fn main() {
                 );
                 std::process::exit(1);
             });
+            // Narrow the context to one model; the fig17 artifact does
+            // the mode sweep.
+            let ctx = RunContext::full().with_models(vec![model]);
+            let report = find("fig17").expect("registered").run(&ctx);
             println!("Phase breakdown for {} (Figure 17):\n", model.name);
-            println!("{}", fig17_breakdown(&cfg, &[model]));
+            println!("{}", report.to_markdown());
         }
         None => {
             println!("Overall performance across the Table-2 zoo (Figure 16).");
             println!("This runs 12 models x 3 configurations; expect a few minutes.\n");
-            let (_, md) = fig16_overall(&cfg, &TABLE2);
-            println!("{md}");
+            let report = find("fig16").expect("registered").run(&RunContext::full());
+            println!("{}", report.to_markdown());
         }
     }
 }

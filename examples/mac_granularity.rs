@@ -7,13 +7,13 @@
 //! ```
 
 use tensortee::experiments::fig20_mac_granularity;
-use tensortee::SystemConfig;
+use tensortee::RunContext;
 
 fn main() {
-    let cfg = SystemConfig::default();
+    let ctx = RunContext::full();
     println!("NPU MAC granularity sweep (Figure 20), GPT2-M layer mix:\n");
-    let (rows, md) = fig20_mac_granularity(&cfg);
-    println!("{md}");
+    let (rows, report) = fig20_mac_granularity(&ctx);
+    println!("{}", report.to_markdown());
     let best_block = rows
         .iter()
         .filter(|r| r.label != "tensor-delayed")

@@ -14,7 +14,7 @@ use tee_comm::schedule::Timeline;
 use tee_sim::Time;
 use tee_workloads::zoo::by_name;
 use tensortee::experiments::scaling_strong;
-use tensortee::{ClusterConfig, ClusterSystem, SecureMode, SystemConfig};
+use tensortee::{ClusterConfig, ClusterSystem, RunContext, SecureMode, SystemConfig};
 
 fn main() {
     let n: u32 = std::env::args()
@@ -84,13 +84,11 @@ fn main() {
     );
 
     println!("== Strong scaling across the cluster (this runs 8 full-step simulations) ==\n");
-    let (_, md) = scaling_strong(
-        &cfg,
-        &model,
-        &[1, 2, 4, 8],
-        &[SecureMode::SgxMgx, SecureMode::TensorTee],
-    );
-    println!("{md}");
+    let ctx = RunContext::full()
+        .with_models(vec![model])
+        .with_modes(vec![SecureMode::SgxMgx, SecureMode::TensorTee]);
+    let (_, report) = scaling_strong(&ctx);
+    println!("{}", report.to_markdown());
     println!(
         "\nNote the shape: staging pays the \u{a7}3.3 conversion on every ring hop, so its\n\
          exposed-comm share climbs until extra NPUs make the step slower; the direct\n\

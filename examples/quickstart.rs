@@ -5,42 +5,44 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use tee_workloads::zoo::by_name;
-use tensortee::{SecureMode, SystemConfig, TrainingSystem};
+use tensortee::RunContext;
 
 fn main() {
-    let cfg = SystemConfig::default();
+    let ctx = RunContext::full();
     println!("TensorTEE quickstart — Table 1 configuration:\n");
-    println!("{}\n", cfg.table1_markdown());
+    println!("{}\n", ctx.cfg.table1_markdown());
 
-    let model = by_name("GPT2-M").expect("Table-2 model");
+    let model = ctx.primary_model();
     println!(
         "Model: {} ({} params nominal, batch {})\n",
         model.name, model.nominal_params, model.batch_size
     );
 
-    let mut reference = None;
-    for mode in SecureMode::all() {
-        let mut system = TrainingSystem::new(cfg.clone(), mode);
-        let step = system.simulate_step(&model);
+    // One step under every mode; the context owns the mode loop.
+    let sweep = ctx.step_sweep(&model);
+    let reference = sweep[0].1.total();
+    for (i, (mode, step)) in sweep.iter().enumerate() {
         let total = step.total();
-        let (npu, cpu, w, g) = step.fractions();
-        let vs = match reference {
-            None => {
-                reference = Some(total);
-                String::from("(reference)")
-            }
-            Some(r) => format!("({:.2}x non-secure)", total.as_secs_f64() / r.as_secs_f64()),
+        let vs = if i == 0 {
+            String::from("(reference)")
+        } else {
+            format!(
+                "({:.2}x non-secure)",
+                total.as_secs_f64() / reference.as_secs_f64()
+            )
         };
+        let shares: Vec<String> = step
+            .ledger()
+            .fractions()
+            .into_iter()
+            .map(|(label, f)| format!("{label} {:.1}%", f * 100.0))
+            .collect();
         println!(
-            "{:<11} latency/batch = {:<12} {}\n             breakdown: NPU {:.1}% | CPU {:.1}% | comm W {:.1}% | comm G {:.1}%",
+            "{:<11} latency/batch = {:<12} {}\n             breakdown: {}",
             mode.label(),
             total.to_string(),
             vs,
-            npu * 100.0,
-            cpu * 100.0,
-            w * 100.0,
-            g * 100.0,
+            shares.join(" | "),
         );
     }
     println!("\nExpected shape (paper §6.1): SGX+MGX several times slower than");

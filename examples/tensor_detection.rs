@@ -9,14 +9,15 @@
 //! ```
 
 use tensortee::experiments::{fig18_hit_rate, sec62_gemm_detection};
-use tensortee::SystemConfig;
+use tensortee::RunContext;
 
 fn main() {
-    let cfg = SystemConfig::default();
+    let mut ctx = RunContext::full();
+    ctx.hit_iterations = 12;
 
     println!("Meta Table hit rate vs. iteration (Figure 18), cold start:\n");
-    let (rows, md) = fig18_hit_rate(&cfg, 12);
-    println!("{md}");
+    let (rows, report) = fig18_hit_rate(&ctx);
+    println!("{}", report.to_markdown());
     if let (Some(first), Some(last)) = (rows.first(), rows.last()) {
         println!(
             "hit_in grew from {:.0}% to {:.0}% — detection converged.\n",
@@ -26,8 +27,8 @@ fn main() {
     }
 
     println!("Tiled GEMM detection (§6.2): 256x256 matrix, 64x64 tiles.");
-    let (rate, md) = sec62_gemm_detection(&cfg);
-    println!("{md}");
+    let (rate, report) = sec62_gemm_detection(&ctx);
+    println!("{}", report.to_markdown());
     assert!(rate > 0.9, "detection should converge");
     println!("Entry merging assembled complete 2-D tensor structures from");
     println!("row-granularity detections (Figure 11).");

@@ -1,0 +1,136 @@
+//! `tensortee` — the CLI driver for the paper-artifact registry.
+//!
+//! ```sh
+//! tensortee list                         # all registered artifacts
+//! tensortee run fig16                    # one artifact, markdown
+//! tensortee run fig16 fig21 --json      # several artifacts, JSON array
+//! tensortee run --all --fast --json     # whole registry, reduced context
+//! ```
+//!
+//! `--fast` swaps the full paper-fidelity [`RunContext`] for the reduced
+//! one (coarser simulation scale, GPT/GPT2-M model pair, thinned sweeps);
+//! `--json` switches from markdown to the machine-readable report shape
+//! documented in EXPERIMENTS.md. Every run is deterministic: the same
+//! invocation produces byte-identical output.
+
+use std::process::ExitCode;
+use tensortee::artifact::{find, registry, Artifact, RunContext};
+use tensortee::json::Json;
+use tensortee::report::Table;
+
+const USAGE: &str = "usage: tensortee <command>
+
+commands:
+  list                          list registered artifacts
+  run <id>... [--json] [--fast] run specific artifacts
+  run --all [--json] [--fast]   run the whole registry
+
+flags:
+  --json   emit machine-readable JSON instead of markdown
+  --fast   reduced context: coarser sim scale, fewer models/sweep points";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            list();
+            ExitCode::SUCCESS
+        }
+        Some("run") => run(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `tensortee list`: one row per registered artifact.
+fn list() {
+    let mut table = Table::new(["id", "paper anchor", "title", "claim reproduced"]);
+    for a in registry() {
+        table.row([a.id, a.paper_anchor, a.title, a.claim]);
+    }
+    println!("{}", table.to_markdown());
+    println!(
+        "{} artifacts; run one with `tensortee run <id>` (add --json / --fast).",
+        registry().len()
+    );
+}
+
+/// `tensortee run ...`: resolve the artifact selection, run, print.
+fn run(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut fast = false;
+    let mut all = false;
+    let mut ids: Vec<&str> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--fast" => fast = true,
+            "--all" => all = true,
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag {flag:?}\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            id => ids.push(id),
+        }
+    }
+    let selection: Vec<Artifact> = if all {
+        if !ids.is_empty() {
+            eprintln!("--all and explicit ids are mutually exclusive\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+        registry().to_vec()
+    } else if ids.is_empty() {
+        eprintln!("run needs artifact ids or --all\n\n{USAGE}");
+        return ExitCode::from(2);
+    } else {
+        let mut picked = Vec::new();
+        for id in ids {
+            match find(id) {
+                Some(a) => picked.push(a),
+                None => {
+                    let known: Vec<&str> = registry().iter().map(|a| a.id).collect();
+                    eprintln!("unknown artifact {id:?}; known ids: {}", known.join(", "));
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        picked
+    };
+
+    let ctx = if fast {
+        RunContext::fast()
+    } else {
+        RunContext::full()
+    };
+    let reports: Vec<_> = selection
+        .iter()
+        .map(|a| {
+            if !json {
+                eprintln!("running {} ({}) ...", a.id, a.paper_anchor);
+            }
+            a.run(&ctx)
+        })
+        .collect();
+
+    if json {
+        // One report → a single object; several → an array (the
+        // `run --all --json` shape CI validates).
+        let out = if reports.len() == 1 {
+            reports[0].to_json()
+        } else {
+            Json::Array(reports.iter().map(|r| r.to_json()).collect())
+        };
+        println!("{out}");
+    } else {
+        for r in &reports {
+            println!("{}", r.to_markdown());
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -3,6 +3,9 @@
 //! The library surface lives in the [`tensortee`] crate and its substrate
 //! crates (`tee-sim`, `tee-crypto`, `tee-mem`, `tee-cpu`, `tee-npu`,
 //! `tee-comm`, `tee-workloads`). This root package exists to host the
-//! runnable `examples/` and the cross-crate integration tests in `tests/`.
+//! runnable `examples/`, the cross-crate integration tests in `tests/`,
+//! and the `tensortee` CLI (`src/bin/tensortee.rs`) that drives the
+//! paper-artifact registry (`list` / `run <id> [--json] [--fast]` /
+//! `run --all`).
 
 pub use tensortee;
