@@ -1,0 +1,37 @@
+//! Inference serving — latency and goodput per security mode (tee-serve
+//! extension beyond the paper's training-only evaluation; see
+//! EXPERIMENTS.md).
+//!
+//! Prints the per-mode serving table for the seeded Poisson trace on
+//! GPT2-M: completed requests, TTFT p50/p99, TPOT, p99 latency, goodput
+//! and exposed KV-migration time. The shape to look for: SGX+MGX
+//! serializes KV HBM↔DRAM migration behind its staging re-encryption
+//! (§3.3) and pays coarse-MAC stalls on every decode stream, while
+//! TensorTEE hides the direct transfers behind decode compute and stays
+//! at non-secure goodput.
+
+use criterion::black_box;
+use tee_bench::{criterion_quick, run_registered};
+use tee_serve::{simulate, SecurityProfile, ServeConfig, TraceConfig};
+use tee_workloads::zoo::TABLE2;
+
+fn main() {
+    run_registered("serve_latency");
+
+    // Kernel timing: one short trace end-to-end under each secure mode.
+    let model = TABLE2[1]; // GPT2-M
+    let cfg = ServeConfig::for_model(&model, 4, 640);
+    let trace = TraceConfig::poisson(12, 16.0, 42).generate();
+    let mut c = criterion_quick();
+    c.bench_function("serve/trace12_sgx_mgx", |b| {
+        b.iter(|| {
+            black_box(simulate(&cfg, &model, &SecurityProfile::sgx_mgx(), &trace).goodput_tps())
+        })
+    });
+    c.bench_function("serve/trace12_tensortee", |b| {
+        b.iter(|| {
+            black_box(simulate(&cfg, &model, &SecurityProfile::tensor_tee(), &trace).goodput_tps())
+        })
+    });
+    c.final_summary();
+}

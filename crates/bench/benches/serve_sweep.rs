@@ -1,0 +1,28 @@
+//! Inference serving — offered-load and burstiness sweep (tee-serve
+//! extension; see EXPERIMENTS.md).
+//!
+//! Prints goodput / TTFT p99 / exposed KV time across load multipliers
+//! and arrival patterns per mode. The shape to look for: below
+//! saturation all modes track the offered load; past it TensorTEE holds
+//! near the non-secure ceiling while SGX+MGX saturates earlier (KV
+//! staging + coarse-MAC decode stalls), and bursty arrivals widen the
+//! TTFT tail for everyone but cost the staging protocol the most.
+
+use criterion::black_box;
+use tee_bench::{criterion_quick, run_registered};
+use tee_serve::TraceConfig;
+
+fn main() {
+    run_registered("serve_sweep");
+
+    // Kernel timing: trace generation itself (the deterministic
+    // Poisson/bursty samplers).
+    let mut c = criterion_quick();
+    c.bench_function("serve/trace_gen_poisson_1k", |b| {
+        b.iter(|| black_box(TraceConfig::poisson(1_000, 32.0, 7).generate().len()))
+    });
+    c.bench_function("serve/trace_gen_bursty_1k", |b| {
+        b.iter(|| black_box(TraceConfig::bursty(1_000, 32.0, 8, 7).generate().len()))
+    });
+    c.final_summary();
+}

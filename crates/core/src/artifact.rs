@@ -36,6 +36,16 @@ pub struct RunContext {
     pub cluster_sizes: Vec<u32>,
     /// Iterations sampled by the Figure-18 hit-rate run.
     pub hit_iterations: u32,
+    /// Seed for every stochastic artifact (the serving traces); the CLI
+    /// plumbs `--seed` here so runs stay reproducible from the command
+    /// line.
+    pub seed: u64,
+    /// Requests per serving trace (`serve_latency` / `serve_sweep`).
+    pub serve_requests: u32,
+    /// Nominal serving arrival rate in requests per second.
+    pub serve_rate_rps: f64,
+    /// Load multipliers of the nominal rate swept by `serve_sweep`.
+    pub serve_load_factors: Vec<f64>,
     /// Whether this is the reduced (`--fast`) context; runners gate their
     /// most expensive sweeps on it.
     pub fast: bool,
@@ -53,6 +63,10 @@ impl RunContext {
             checkpoints: vec![1, 2, 5, 10, 20, 30, 40],
             cluster_sizes: vec![1, 2, 4, 8],
             hit_iterations: 20,
+            seed: 42,
+            serve_requests: 48,
+            serve_rate_rps: 8.0,
+            serve_load_factors: vec![0.5, 1.0, 2.0],
             fast: false,
         }
     }
@@ -68,6 +82,8 @@ impl RunContext {
             checkpoints: vec![1, 2, 5],
             cluster_sizes: vec![1, 4],
             hit_iterations: 6,
+            serve_requests: 16,
+            serve_load_factors: vec![1.0, 2.0],
             fast: true,
             ..Self::full()
         }
@@ -88,6 +104,13 @@ impl RunContext {
     /// Replaces the system configuration (builder form).
     pub fn with_cfg(mut self, cfg: SystemConfig) -> Self {
         self.cfg = cfg;
+        self
+    }
+
+    /// Replaces the stochastic-artifact seed (builder form; the CLI's
+    /// `--seed` lands here).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
         self
     }
 
@@ -164,7 +187,7 @@ impl Artifact {
 }
 
 /// The registry, in paper presentation order.
-static REGISTRY: [Artifact; 15] = [
+static REGISTRY: [Artifact; 17] = [
     Artifact {
         id: "fig03",
         title: "CPU TEE slowdown vs. thread count",
@@ -272,6 +295,21 @@ static REGISTRY: [Artifact; 15] = [
         claim: "Meta Table capacity, filter threshold, metadata cache and AES bandwidth sweeps",
         runner: experiments::ablations,
     },
+    Artifact {
+        id: "serve_latency",
+        title: "Inference serving: latency and goodput per mode",
+        paper_anchor: "extension (\u{a7}3.3/\u{a7}4.3 under serving)",
+        claim:
+            "staging exposes KV migration and inflates TTFT/TPOT; TensorTEE stays near non-secure",
+        runner: |ctx| experiments::serve_latency(ctx).1,
+    },
+    Artifact {
+        id: "serve_sweep",
+        title: "Inference serving: load/burstiness sweep",
+        paper_anchor: "extension (\u{a7}3.3/\u{a7}4.3 under serving)",
+        claim: "TensorTEE goodput tracks offered load; staging saturates early, worse under bursts",
+        runner: |ctx| experiments::serve_sweep(ctx).1,
+    },
 ];
 
 /// All registered artifacts, in paper presentation order.
@@ -290,7 +328,7 @@ mod tests {
 
     #[test]
     fn registry_covers_the_evaluation() {
-        assert!(registry().len() >= 15);
+        assert!(registry().len() >= 17);
         for id in [
             "fig03",
             "fig04",
@@ -307,6 +345,8 @@ mod tests {
             "sec65",
             "scaling_strong",
             "ablations",
+            "serve_latency",
+            "serve_sweep",
         ] {
             assert!(find(id).is_some(), "{id} missing from registry");
         }
@@ -326,6 +366,10 @@ mod tests {
         // Without GPT2-M the primary falls back to the first model.
         let custom = RunContext::fast().with_models(vec![TABLE2[0]]);
         assert_eq!(custom.primary_model().name, "GPT");
+        // The fast context thins the serving trace but keeps the seed.
+        assert!(fast.serve_requests < full.serve_requests);
+        assert_eq!(fast.seed, full.seed);
+        assert_eq!(RunContext::fast().with_seed(7).seed, 7);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use tee_cpu::{AdamWorkload, CpuEngine, GemmWorkload, SoftVnConfig, TeeMode};
 use tee_npu::engine::Layer as NpuLayer;
 use tee_npu::mac::figure20_sweep;
 use tee_npu::NpuEngine;
+use tee_serve::{simulate, SecurityProfile, ServeConfig, ServeReport, TraceConfig};
 use tee_sim::Time;
 use tee_workloads::census::TensorCensus;
 use tee_workloads::zoo::{ModelConfig, TABLE2};
@@ -837,6 +838,225 @@ pub fn scaling_strong(ctx: &RunContext) -> (Vec<ScalingRow>, Report) {
     (rows, report)
 }
 
+// ---------------------------------------------------------------------
+// Inference serving — latency/goodput per mode and the load sweep
+// (serve_latency / serve_sweep; tee-serve extension).
+// ---------------------------------------------------------------------
+
+/// The serving [`SecurityProfile`] of a training-side [`crate::SecureMode`]:
+/// the same MAC scheme / transfer protocol pairing the step simulator
+/// uses, applied to decode streams and KV migration.
+pub fn serve_profile(mode: crate::SecureMode) -> SecurityProfile {
+    match mode {
+        crate::SecureMode::NonSecure => SecurityProfile::non_secure(),
+        crate::SecureMode::SgxMgx => SecurityProfile::sgx_mgx(),
+        crate::SecureMode::TensorTee => SecurityProfile::tensor_tee(),
+    }
+}
+
+/// Metric-name suffix for a mode (`goodput_tensortee`, …).
+fn mode_key(mode: crate::SecureMode) -> &'static str {
+    match mode {
+        crate::SecureMode::NonSecure => "non_secure",
+        crate::SecureMode::SgxMgx => "sgx_mgx",
+        crate::SecureMode::TensorTee => "tensortee",
+    }
+}
+
+/// The shared serving setup: the primary model, a serving system whose
+/// KV HBM budget holds ~4 steady-state requests (so sustained load
+/// spills KV to CPU DRAM), and the seeded Poisson trace shape.
+fn serve_setup(ctx: &RunContext) -> (ModelConfig, ServeConfig, TraceConfig) {
+    let model = ctx.primary_model();
+    let mut trace = TraceConfig::poisson(ctx.serve_requests, ctx.serve_rate_rps, ctx.seed);
+    if ctx.fast {
+        // Shorter conversations keep the fast registry run in seconds
+        // while preserving the prefill/decode and residency shapes.
+        trace.prompt_mean = 256;
+        trace.output_mean = 48;
+    }
+    let cfg =
+        ServeConfig::for_model(&model, 4, trace.steady_tokens()).with_npu(ctx.cfg.npu.clone());
+    (model, cfg, trace)
+}
+
+/// One serving sample: one mode on the shared trace.
+#[derive(Debug, Clone)]
+pub struct ServeRow {
+    /// Security mode.
+    pub mode: crate::SecureMode,
+    /// The full serving report.
+    pub report: ServeReport,
+}
+
+/// Appends one `mode | completed | TTFT | TPOT | p99 | goodput | exposed
+/// KV` row per sample to `table`.
+fn serve_table_rows(table: &mut Table, rows: &[ServeRow]) {
+    for r in rows {
+        let rep = &r.report;
+        table.row([
+            r.mode.label().to_string(),
+            format!("{}/{}", rep.completed_requests, rep.total_requests),
+            rep.ttft_percentile(0.50).unwrap_or(Time::ZERO).to_string(),
+            rep.ttft_percentile(0.99).unwrap_or(Time::ZERO).to_string(),
+            rep.tpot_mean().to_string(),
+            rep.latency_percentile(0.99)
+                .unwrap_or(Time::ZERO)
+                .to_string(),
+            format!("{:.0} tok/s", rep.goodput_tps()),
+            rep.kv_exposed_time.to_string(),
+        ]);
+    }
+}
+
+/// Runs the `serve_latency` artifact: the seeded Poisson trace served
+/// under every context mode, reporting TTFT/TPOT/p99 latency, goodput
+/// and the exposed KV-migration time per mode.
+pub fn serve_latency(ctx: &RunContext) -> (Vec<ServeRow>, Report) {
+    let (model, cfg, trace_cfg) = serve_setup(ctx);
+    let trace = trace_cfg.generate();
+    let rows: Vec<ServeRow> = ctx
+        .modes
+        .iter()
+        .map(|&mode| ServeRow {
+            mode,
+            report: simulate(&cfg, &model, &serve_profile(mode), &trace),
+        })
+        .collect();
+    let mut table = Table::new([
+        "mode",
+        "completed",
+        "TTFT p50",
+        "TTFT p99",
+        "TPOT",
+        "latency p99",
+        "goodput",
+        "exposed KV",
+    ]);
+    serve_table_rows(&mut table, &rows);
+    let mut report = report_for("serve_latency");
+    report.table(table);
+    for r in &rows {
+        let key = mode_key(r.mode);
+        report.metric(format!("goodput_{key}"), r.report.goodput_tps());
+        report.metric(
+            format!("exposed_kv_ms_{key}"),
+            r.report.kv_exposed_time.as_ms_f64(),
+        );
+        report.metric(
+            format!("ttft_p99_ms_{key}"),
+            r.report
+                .ttft_percentile(0.99)
+                .unwrap_or(Time::ZERO)
+                .as_ms_f64(),
+        );
+    }
+    let find = |m: crate::SecureMode| rows.iter().find(|r| r.mode == m);
+    if let (Some(base), Some(ours)) = (
+        find(crate::SecureMode::SgxMgx),
+        find(crate::SecureMode::TensorTee),
+    ) {
+        report.note(format!(
+            "{} requests ({} prompt / {} output tokens mean) at {} req/s, seed {}: \
+             TensorTEE goodput {:.0} tok/s vs SGX+MGX {:.0} tok/s ({:.2}x); \
+             exposed KV-transfer time {} vs {}.",
+            trace.len(),
+            trace_cfg.prompt_mean,
+            trace_cfg.output_mean,
+            trace_cfg.arrivals.rate_rps(),
+            trace_cfg.seed,
+            ours.report.goodput_tps(),
+            base.report.goodput_tps(),
+            ours.report.goodput_tps() / base.report.goodput_tps().max(1e-12),
+            ours.report.kv_exposed_time,
+            base.report.kv_exposed_time,
+        ));
+    }
+    (rows, report)
+}
+
+/// One `serve_sweep` sample: one load point, one arrival pattern, one
+/// mode.
+#[derive(Debug, Clone)]
+pub struct ServeSweepRow {
+    /// Offered load multiplier of the context's nominal rate.
+    pub load_factor: f64,
+    /// Arrival pattern label (`poisson` / `bursty`).
+    pub pattern: &'static str,
+    /// Security mode.
+    pub mode: crate::SecureMode,
+    /// The full serving report.
+    pub report: ServeReport,
+}
+
+/// Runs the `serve_sweep` artifact: goodput and tail latency across
+/// offered-load multipliers and arrival burstiness, per mode.
+pub fn serve_sweep(ctx: &RunContext) -> (Vec<ServeSweepRow>, Report) {
+    let (model, cfg, base_trace) = serve_setup(ctx);
+    let mut rows = Vec::new();
+    let mut table = Table::new([
+        "load",
+        "pattern",
+        "mode",
+        "completed",
+        "goodput",
+        "TTFT p99",
+        "exposed KV",
+    ]);
+    for &factor in &ctx.serve_load_factors {
+        let rate = ctx.serve_rate_rps * factor;
+        let poisson = TraceConfig::poisson(ctx.serve_requests, rate, ctx.seed);
+        let bursty = TraceConfig::bursty(ctx.serve_requests, rate, 8, ctx.seed);
+        for mut trace_cfg in [poisson, bursty] {
+            trace_cfg.prompt_mean = base_trace.prompt_mean;
+            trace_cfg.output_mean = base_trace.output_mean;
+            let trace = trace_cfg.generate();
+            for &mode in &ctx.modes {
+                let report = simulate(&cfg, &model, &serve_profile(mode), &trace);
+                table.row([
+                    format!("{:.1}x", factor),
+                    trace_cfg.arrivals.label().to_string(),
+                    mode.label().to_string(),
+                    format!("{}/{}", report.completed_requests, report.total_requests),
+                    format!("{:.0} tok/s", report.goodput_tps()),
+                    report
+                        .ttft_percentile(0.99)
+                        .unwrap_or(Time::ZERO)
+                        .to_string(),
+                    report.kv_exposed_time.to_string(),
+                ]);
+                rows.push(ServeSweepRow {
+                    load_factor: factor,
+                    pattern: trace_cfg.arrivals.label(),
+                    mode,
+                    report,
+                });
+            }
+        }
+    }
+    let mut report = report_for("serve_sweep");
+    report.table(table);
+    // Headline: each mode's goodput at the highest Poisson load.
+    if let Some(&top) = ctx
+        .serve_load_factors
+        .iter()
+        .max_by(|a, b| a.partial_cmp(b).expect("finite factors"))
+    {
+        for &mode in &ctx.modes {
+            if let Some(r) = rows
+                .iter()
+                .find(|r| r.load_factor == top && r.pattern == "poisson" && r.mode == mode)
+            {
+                report.metric(
+                    format!("peak_goodput_{}", mode_key(mode)),
+                    r.report.goodput_tps(),
+                );
+            }
+        }
+    }
+    (rows, report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -943,6 +1163,57 @@ mod tests {
         assert!(md.contains("Tensor Filter collection threshold"));
         assert!(md.contains("metadata-cache size"));
         assert!(md.contains("AES bandwidth"));
+    }
+
+    #[test]
+    fn serve_latency_orders_the_modes() {
+        let (rows, report) = serve_latency(&ctx());
+        assert_eq!(rows.len(), 3);
+        let get = |m: SecureMode| {
+            rows.iter()
+                .find(|r| r.mode == m)
+                .map(|r| r.report.clone())
+                .unwrap()
+        };
+        let ns = get(SecureMode::NonSecure);
+        let base = get(SecureMode::SgxMgx);
+        let ours = get(SecureMode::TensorTee);
+        // Everyone drains the trace; goodput and exposed-KV orderings are
+        // the serving analogue of Figure 16.
+        for r in [&ns, &base, &ours] {
+            assert_eq!(r.completed_requests, r.total_requests);
+        }
+        assert!(ours.goodput_tps() >= base.goodput_tps());
+        assert!(ns.goodput_tps() >= ours.goodput_tps());
+        assert!(
+            ours.kv_exposed_time < base.kv_exposed_time,
+            "direct must expose strictly less KV-transfer time: {} vs {}",
+            ours.kv_exposed_time,
+            base.kv_exposed_time
+        );
+        assert!(
+            base.kv_stats.get("offloads") > 0,
+            "budget must force spills"
+        );
+        let md = report.to_markdown();
+        assert!(md.contains("goodput"));
+        assert!(report.metric_value("goodput_tensortee").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn serve_sweep_covers_the_grid() {
+        let context = ctx();
+        let (rows, report) = serve_sweep(&context);
+        assert_eq!(
+            rows.len(),
+            context.serve_load_factors.len() * 2 * context.modes.len()
+        );
+        assert!(report.to_markdown().contains("bursty"));
+        assert!(report.metric_value("peak_goodput_tensortee").unwrap() > 0.0);
+        // Every sample drains its trace regardless of load or burstiness.
+        for r in &rows {
+            assert_eq!(r.report.completed_requests, r.report.total_requests);
+        }
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Serving-system configuration: the NPU shape, continuous-batching
+//! knobs, the KV-cache HBM budget, and the per-mode security profile
+//! (MAC scheme + KV transfer protocol).
+
+use serde::Serialize;
+use tee_comm::link::PcieLink;
+use tee_comm::protocol::{DirectProtocol, StagingProtocol};
+use tee_mem::DramConfig;
+use tee_npu::{MacScheme, NpuConfig};
+use tee_sim::Time;
+use tee_workloads::zoo::ModelConfig;
+
+/// Static configuration of the serving system.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeConfig {
+    /// The NPU executing prefill and decode iterations (Table 1 shape).
+    pub npu: NpuConfig,
+    /// Maximum simultaneously active (prefilling + decoding) requests.
+    pub max_batch: usize,
+    /// Maximum new prompt tokens admitted into one iteration (Orca-style
+    /// iteration-level admission; a longer prompt is admitted alone).
+    pub prefill_token_budget: u64,
+    /// HBM bytes reserved for KV caches (what is left after weights and
+    /// activations). KV exceeding this budget is offloaded to CPU DRAM
+    /// and pays the mode's transfer protocol to come back.
+    pub kv_hbm_bytes: u64,
+}
+
+impl ServeConfig {
+    /// A serving configuration for `model` whose KV budget holds roughly
+    /// `resident_requests` requests at `steady_tokens` of context — the
+    /// knob that decides when KV offloading starts.
+    pub fn for_model(model: &ModelConfig, resident_requests: u64, steady_tokens: u64) -> Self {
+        let kv = KvSpec::of(model);
+        ServeConfig {
+            npu: NpuConfig::default(),
+            max_batch: 16,
+            prefill_token_budget: 4096,
+            kv_hbm_bytes: kv.bytes_per_token * steady_tokens * resident_requests,
+        }
+    }
+
+    /// Replaces the NPU configuration (builder form).
+    pub fn with_npu(mut self, npu: NpuConfig) -> Self {
+        self.npu = npu;
+        self
+    }
+
+    /// Replaces the KV HBM budget (builder form).
+    pub fn with_kv_hbm_bytes(mut self, bytes: u64) -> Self {
+        self.kv_hbm_bytes = bytes;
+        self
+    }
+}
+
+/// Per-token KV-cache footprint of a model (K and V, all layers, fp16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct KvSpec {
+    /// KV bytes appended per generated/prefilled token.
+    pub bytes_per_token: u64,
+    /// KV bytes read per layer per cached token during decode attention.
+    pub bytes_per_token_per_layer: u64,
+}
+
+impl KvSpec {
+    /// The KV footprint of `model`: `2 · layers · hidden` fp16 elements
+    /// per token.
+    pub fn of(model: &ModelConfig) -> Self {
+        const FP16: u64 = 2;
+        let per_layer = 2 * model.hidden * FP16;
+        KvSpec {
+            bytes_per_token: model.layers * per_layer,
+            bytes_per_token_per_layer: per_layer,
+        }
+    }
+}
+
+/// How offloaded KV blocks travel between NPU HBM and CPU DRAM.
+///
+/// Mirrors the CPU↔NPU gradient/weight paths of the training system
+/// (§3.3 vs §4.4): the staging protocol re-encrypts at both edges and
+/// serializes against compute, the direct protocol is a DMA plus one
+/// trusted metadata packet and overlaps compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum KvProtocol {
+    /// Plain DMA (non-secure reference).
+    Plain,
+    /// Graviton-like staging: decrypt → re-encrypt → bus → decrypt →
+    /// re-encrypt (§3.3). Cannot overlap compute.
+    Staged,
+    /// TensorTEE direct transfer: shared session key, tensor-granularity
+    /// MAC travels on the trusted channel (§4.4). Overlaps compute.
+    Direct,
+}
+
+impl KvProtocol {
+    /// Serialized wall-clock cost of moving `bytes` one way, including the
+    /// CPU-DRAM sink/source bandwidth cap (DDR4 must absorb the stream).
+    pub fn transfer_time(&self, bytes: u64) -> Time {
+        if bytes == 0 {
+            return Time::ZERO;
+        }
+        let link = match self {
+            KvProtocol::Plain => {
+                let mut link = PcieLink::gen4_x16();
+                link.transfer(Time::ZERO, bytes)
+            }
+            KvProtocol::Staged => {
+                let mut p = StagingProtocol::new();
+                p.transfer(Time::ZERO, bytes).total()
+            }
+            KvProtocol::Direct => {
+                let mut p = DirectProtocol::new();
+                p.transfer(Time::ZERO, bytes).total()
+            }
+        };
+        let dram =
+            Time::from_secs_f64(bytes as f64 / DramConfig::ddr4_2400_2ch().total_bytes_per_sec());
+        link.max(dram)
+    }
+
+    /// Whether KV transfers can hide behind the iteration's NPU compute
+    /// (the staging protocol contends for AES engines and DRAM bandwidth,
+    /// §3.3, so it cannot).
+    pub fn can_overlap_compute(&self) -> bool {
+        !matches!(self, KvProtocol::Staged)
+    }
+}
+
+/// One serving security mode: the NPU MAC-granularity scheme pricing
+/// every prefill/decode stream plus the KV offload transfer protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SecurityProfile {
+    /// Display label (matches the training-side mode labels).
+    pub label: &'static str,
+    /// MAC scheme the NPU engine runs under.
+    pub mac: MacScheme,
+    /// KV HBM↔DRAM transfer protocol.
+    pub kv_protocol: KvProtocol,
+}
+
+impl SecurityProfile {
+    /// No protection anywhere (performance reference).
+    pub fn non_secure() -> Self {
+        SecurityProfile {
+            label: "Non-Secure",
+            mac: MacScheme::None,
+            kv_protocol: KvProtocol::Plain,
+        }
+    }
+
+    /// SGX+MGX: coarse 512 B MAC blocks on the NPU (§3.2) and the staging
+    /// KV path.
+    pub fn sgx_mgx() -> Self {
+        SecurityProfile {
+            label: "SGX+MGX",
+            mac: MacScheme::PerBlock { granularity: 512 },
+            kv_protocol: KvProtocol::Staged,
+        }
+    }
+
+    /// TensorTEE: tensor-granularity delayed MAC (§4.3) and the direct KV
+    /// path (§4.4).
+    pub fn tensor_tee() -> Self {
+        SecurityProfile {
+            label: "TensorTEE",
+            mac: MacScheme::TensorDelayed,
+            kv_protocol: KvProtocol::Direct,
+        }
+    }
+
+    /// All three, in the paper's presentation order.
+    pub fn all() -> [SecurityProfile; 3] {
+        [Self::non_secure(), Self::sgx_mgx(), Self::tensor_tee()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tee_workloads::zoo::by_name;
+
+    #[test]
+    fn kv_spec_counts_k_and_v() {
+        let m = by_name("GPT2-M").unwrap();
+        let kv = KvSpec::of(&m);
+        assert_eq!(kv.bytes_per_token, m.layers * 2 * m.hidden * 2);
+        assert_eq!(kv.bytes_per_token, m.layers * kv.bytes_per_token_per_layer);
+    }
+
+    #[test]
+    fn staged_kv_transfer_costs_more_than_direct() {
+        let bytes = 64 << 20;
+        let staged = KvProtocol::Staged.transfer_time(bytes);
+        let direct = KvProtocol::Direct.transfer_time(bytes);
+        let plain = KvProtocol::Plain.transfer_time(bytes);
+        assert!(staged > direct, "{staged} vs {direct}");
+        assert!(direct >= plain);
+        assert_eq!(KvProtocol::Plain.transfer_time(0), Time::ZERO);
+    }
+
+    #[test]
+    fn overlap_capabilities_mirror_training_protocols() {
+        assert!(KvProtocol::Plain.can_overlap_compute());
+        assert!(KvProtocol::Direct.can_overlap_compute());
+        assert!(!KvProtocol::Staged.can_overlap_compute());
+    }
+
+    #[test]
+    fn profiles_cover_the_three_modes() {
+        let all = SecurityProfile::all();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[1].label, "SGX+MGX");
+        assert_eq!(all[2].kv_protocol, KvProtocol::Direct);
+        assert!(matches!(all[2].mac, MacScheme::TensorDelayed));
+    }
+
+    #[test]
+    fn config_budget_scales_with_residency() {
+        let m = by_name("GPT2-M").unwrap();
+        let small = ServeConfig::for_model(&m, 2, 512);
+        let large = ServeConfig::for_model(&m, 8, 512);
+        assert_eq!(large.kv_hbm_bytes, 4 * small.kv_hbm_bytes);
+        assert!(small.max_batch > 0);
+    }
+}

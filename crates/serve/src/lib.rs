@@ -1,0 +1,44 @@
+//! # tee-serve
+//!
+//! Secure LLM **inference serving** simulator — the serving-side workload
+//! class the training-only reproduction was missing. It stresses the
+//! paper's two axes (MAC granularity §4.3, CPU↔NPU transfer protocol
+//! §3.3/§4.4) in a new regime: small-batch GEMV decode iterations, and
+//! per-request KV caches migrating between NPU HBM and CPU DRAM.
+//!
+//! * [`trace`] — deterministic Poisson/bursty request arrival traces with
+//!   zoo-shaped prompt/output lengths ([`tee_sim::SplitMix64`] seeded),
+//! * [`config`] — serving knobs, the per-token [`KvSpec`], and the
+//!   [`SecurityProfile`] mapping each paper mode to a MAC scheme + KV
+//!   transfer protocol (coarse-MAC + staging vs tensor-MAC + direct),
+//! * [`kv`] — the bounded HBM [`KvPool`] with LRU spill to CPU DRAM,
+//! * [`scheduler`] — the continuous-batching discrete-event loop pricing
+//!   fused prefill/decode iterations through [`tee_npu::NpuEngine`],
+//! * [`report`] — [`ServeReport`]: TTFT/TPOT/latency percentiles,
+//!   goodput, and exposed KV-migration time.
+//!
+//! ## Example
+//!
+//! ```
+//! use tee_serve::{simulate, SecurityProfile, ServeConfig, TraceConfig};
+//! use tee_workloads::zoo::by_name;
+//!
+//! let model = by_name("GPT").expect("Table-2 model");
+//! let cfg = ServeConfig::for_model(&model, 4, 640);
+//! let trace = TraceConfig::poisson(8, 16.0, 42).generate();
+//! let report = simulate(&cfg, &model, &SecurityProfile::tensor_tee(), &trace);
+//! assert_eq!(report.completed_requests, 8);
+//! assert!(report.goodput_tps() > 0.0);
+//! ```
+
+pub mod config;
+pub mod kv;
+pub mod report;
+pub mod scheduler;
+pub mod trace;
+
+pub use config::{KvProtocol, KvSpec, SecurityProfile, ServeConfig};
+pub use kv::{KvPool, Residency};
+pub use report::ServeReport;
+pub use scheduler::simulate;
+pub use trace::{ArrivalProcess, Request, TraceConfig};

@@ -1,0 +1,237 @@
+//! Request arrival traces: Poisson and bursty arrival processes with
+//! per-request prompt/output lengths drawn deterministically from the
+//! model-zoo-shaped length distribution.
+//!
+//! Everything derives from one `tee_sim::SplitMix64` seed, so a trace is
+//! byte-reproducible: the same [`TraceConfig`] always generates the same
+//! request sequence (the registry's repeat-run invariant depends on it).
+
+use serde::Serialize;
+use tee_sim::{SplitMix64, Time};
+
+/// One inference request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Request {
+    /// Stable id (index into the trace).
+    pub id: u32,
+    /// Arrival timestamp.
+    pub arrival: Time,
+    /// Prompt length in tokens (prefill work).
+    pub prompt_tokens: u64,
+    /// Tokens to generate, including the first token produced by prefill
+    /// (decode work). Always at least 2 so TPOT is defined.
+    pub output_tokens: u64,
+}
+
+impl Request {
+    /// Context length once fully generated (prompt + generated tokens).
+    pub fn final_context(&self) -> u64 {
+        self.prompt_tokens + self.output_tokens
+    }
+}
+
+/// The arrival process shaping inter-arrival gaps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals: exponential inter-arrival gaps at `rate_rps`
+    /// requests per second.
+    Poisson {
+        /// Long-run arrival rate in requests per second.
+        rate_rps: f64,
+    },
+    /// Bursty arrivals: groups of `burst` requests land together,
+    /// separated by exponential gaps sized so the *long-run* rate still
+    /// equals `rate_rps` — same offered load, much worse tail.
+    Bursty {
+        /// Long-run arrival rate in requests per second.
+        rate_rps: f64,
+        /// Requests per burst.
+        burst: u32,
+    },
+}
+
+impl ArrivalProcess {
+    /// Short label for report tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Poisson { .. } => "poisson",
+            ArrivalProcess::Bursty { .. } => "bursty",
+        }
+    }
+
+    /// The long-run request rate.
+    pub fn rate_rps(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_rps } | ArrivalProcess::Bursty { rate_rps, .. } => {
+                rate_rps
+            }
+        }
+    }
+}
+
+/// A deterministic trace specification.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TraceConfig {
+    /// Number of requests in the trace.
+    pub n_requests: u32,
+    /// Arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Mean prompt length in tokens (exponential, clamped to
+    /// `[mean/4, 4·mean]`).
+    pub prompt_mean: u64,
+    /// Mean output length in tokens (exponential, clamped to
+    /// `[max(2, mean/4), 4·mean]`).
+    pub output_mean: u64,
+    /// PRNG seed; every stochastic choice in the trace derives from it.
+    pub seed: u64,
+}
+
+impl TraceConfig {
+    /// A Poisson trace with the default zoo length shape (512-token
+    /// prompts, 128-token outputs on average).
+    pub fn poisson(n_requests: u32, rate_rps: f64, seed: u64) -> Self {
+        TraceConfig {
+            n_requests,
+            arrivals: ArrivalProcess::Poisson { rate_rps },
+            prompt_mean: 512,
+            output_mean: 128,
+            seed,
+        }
+    }
+
+    /// A bursty trace at the same long-run rate.
+    pub fn bursty(n_requests: u32, rate_rps: f64, burst: u32, seed: u64) -> Self {
+        TraceConfig {
+            n_requests,
+            arrivals: ArrivalProcess::Bursty {
+                rate_rps,
+                burst: burst.max(1),
+            },
+            prompt_mean: 512,
+            output_mean: 128,
+            seed,
+        }
+    }
+
+    /// The steady per-request context length (prompt + output means) —
+    /// what the KV HBM budget is sized against.
+    pub fn steady_tokens(&self) -> u64 {
+        self.prompt_mean + self.output_mean
+    }
+
+    /// Generates the request trace, sorted by arrival time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrival rate is not finite and positive, or if a
+    /// bursty process has a zero burst size.
+    pub fn generate(&self) -> Vec<Request> {
+        let rate = self.arrivals.rate_rps();
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "arrival rate must be positive: {rate}"
+        );
+        if let ArrivalProcess::Bursty { burst, .. } = self.arrivals {
+            assert!(burst >= 1, "a burst needs at least one request");
+        }
+        let mut rng = SplitMix64::new(self.seed);
+        let mut arrivals = rng.split();
+        let mut lengths = rng.split();
+        let mut at = 0.0f64;
+        (0..self.n_requests)
+            .map(|id| {
+                match self.arrivals {
+                    ArrivalProcess::Poisson { .. } => {
+                        at += arrivals.next_exp(1.0 / rate);
+                    }
+                    ArrivalProcess::Bursty { burst, .. } => {
+                        // Only the first member of each burst advances the
+                        // clock; the gap mean is burst/rate so the long-run
+                        // rate matches the Poisson preset.
+                        if id % burst == 0 {
+                            at += arrivals.next_exp(f64::from(burst) / rate);
+                        }
+                    }
+                }
+                Request {
+                    id,
+                    arrival: Time::from_secs_f64(at),
+                    prompt_tokens: sample_len(&mut lengths, self.prompt_mean, 1),
+                    output_tokens: sample_len(&mut lengths, self.output_mean, 2),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Exponential length draw clamped to `[max(floor, mean/4), 4·mean]`.
+fn sample_len(rng: &mut SplitMix64, mean: u64, floor: u64) -> u64 {
+    let lo = (mean / 4).max(floor);
+    let hi = (mean * 4).max(lo);
+    (rng.next_exp(mean as f64).round() as u64).clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_deterministic() {
+        let cfg = TraceConfig::poisson(50, 8.0, 42);
+        assert_eq!(cfg.generate(), cfg.generate());
+        let other = TraceConfig::poisson(50, 8.0, 43);
+        assert_ne!(cfg.generate(), other.generate(), "seed matters");
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_rate_roughly_matches() {
+        let cfg = TraceConfig::poisson(2_000, 10.0, 7);
+        let trace = cfg.generate();
+        assert!(trace.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        let span = trace.last().unwrap().arrival.as_secs_f64();
+        let rate = trace.len() as f64 / span;
+        assert!((rate - 10.0).abs() < 1.0, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn lengths_are_clamped_and_output_supports_tpot() {
+        let cfg = TraceConfig::poisson(500, 5.0, 1);
+        for r in cfg.generate() {
+            assert!((128..=2048).contains(&r.prompt_tokens), "{r:?}");
+            assert!((32..=512).contains(&r.output_tokens), "{r:?}");
+            assert!(r.output_tokens >= 2);
+            assert_eq!(r.final_context(), r.prompt_tokens + r.output_tokens);
+        }
+    }
+
+    #[test]
+    fn bursty_groups_share_a_timestamp_but_keep_the_rate() {
+        let cfg = TraceConfig::bursty(400, 10.0, 4, 11);
+        let trace = cfg.generate();
+        for group in trace.chunks(4) {
+            assert!(group.iter().all(|r| r.arrival == group[0].arrival));
+        }
+        let span = trace.last().unwrap().arrival.as_secs_f64();
+        let rate = trace.len() as f64 / span;
+        assert!((rate - 10.0).abs() < 2.0, "empirical rate {rate}");
+        assert_eq!(cfg.arrivals.label(), "bursty");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_rejected() {
+        TraceConfig::poisson(1, 0.0, 1).generate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_burst_rejected() {
+        // The bursty() constructor clamps, but the fields are public.
+        let mut c = TraceConfig::bursty(4, 8.0, 4, 1);
+        c.arrivals = ArrivalProcess::Bursty {
+            rate_rps: 8.0,
+            burst: 0,
+        };
+        c.generate();
+    }
+}

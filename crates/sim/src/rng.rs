@@ -76,6 +76,48 @@ impl SplitMix64 {
     pub fn split(&mut self) -> SplitMix64 {
         SplitMix64::new(self.next_u64())
     }
+
+    /// Exponentially distributed value with the given mean (inverse-CDF
+    /// sampling) — the inter-arrival distribution of a Poisson process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not finite and positive.
+    #[inline]
+    pub fn next_exp(&mut self, mean: f64) -> f64 {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be finite and positive: {mean}"
+        );
+        // next_f64() is in [0, 1); flip to (0, 1] so ln() stays finite.
+        -mean * (1.0 - self.next_f64()).ln()
+    }
+
+    /// Poisson-distributed count with the given mean (Knuth's product
+    /// method; the means used by the serving trace generators are small).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is negative or not finite.
+    pub fn next_poisson(&mut self, mean: f64) -> u64 {
+        assert!(
+            mean.is_finite() && mean >= 0.0,
+            "Poisson mean must be finite and non-negative: {mean}"
+        );
+        if mean == 0.0 {
+            return 0;
+        }
+        let limit = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0f64;
+        loop {
+            p *= self.next_f64();
+            if p <= limit {
+                return k;
+            }
+            k += 1;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -145,5 +187,57 @@ mod tests {
     #[should_panic]
     fn zero_bound_panics() {
         SplitMix64::new(1).next_below(0);
+    }
+
+    #[test]
+    fn exponential_is_deterministic_and_nonnegative() {
+        let mut a = SplitMix64::new(77);
+        let mut b = SplitMix64::new(77);
+        for _ in 0..1_000 {
+            let x = a.next_exp(3.0);
+            assert_eq!(x, b.next_exp(3.0), "same seed, same stream");
+            assert!(x >= 0.0 && x.is_finite());
+        }
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = SplitMix64::new(123);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| r.next_exp(4.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "sample mean {mean}");
+    }
+
+    #[test]
+    fn poisson_is_deterministic_with_matching_mean() {
+        let mut a = SplitMix64::new(9);
+        let mut b = SplitMix64::new(9);
+        let n = 20_000;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            let k = a.next_poisson(2.5);
+            assert_eq!(k, b.next_poisson(2.5));
+            sum += k;
+        }
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 2.5).abs() < 0.1, "sample mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_mean_is_zero() {
+        assert_eq!(SplitMix64::new(1).next_poisson(0.0), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_exponential_mean_panics() {
+        SplitMix64::new(1).next_exp(-1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_poisson_mean_panics() {
+        SplitMix64::new(1).next_poisson(-0.5);
     }
 }

@@ -144,6 +144,51 @@ impl Histogram {
         })
     }
 
+    /// Estimates the `q`-quantile (`q` clamped to `[0, 1]`) from the
+    /// power-of-two buckets, linearly interpolating within the winning
+    /// bucket and clamping to the exact observed `[min, max]`. `None` when
+    /// the histogram is empty.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tee_sim::Histogram;
+    /// let mut h = Histogram::new();
+    /// for v in [10u64, 20, 30, 1000] { h.record(v); }
+    /// let p50 = h.percentile(0.50).unwrap();
+    /// let p99 = h.percentile(0.99).unwrap();
+    /// assert!(p50 <= p99);
+    /// assert!(p99 <= 1000);
+    /// ```
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let (min, max) = (self.min?, self.max?);
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the sample the quantile falls on.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (&idx, &n) in &self.buckets {
+            cum += n;
+            if cum >= rank {
+                let floor = if idx == 0 { 0 } else { 1u64 << (idx - 1) };
+                // The top bucket (idx 64, samples >= 2^63) has no 2^idx:
+                // saturate instead of overflowing the shift.
+                let ceil = match idx {
+                    0 => 0,
+                    64.. => u64::MAX,
+                    _ => (1u64 << idx) - 1,
+                };
+                // Position of the rank within this bucket, in (0, 1].
+                let into = (rank - (cum - n)) as f64 / n as f64;
+                let est = floor as f64 + (ceil - floor) as f64 * into;
+                return Some((est.round() as u64).clamp(min, max));
+            }
+        }
+        Some(max)
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         self.count += other.count;
@@ -284,6 +329,65 @@ mod tests {
         h.record(7); // bitlen 3, floor 4
         let floors: Vec<u64> = h.buckets().map(|(f, _)| f).collect();
         assert_eq!(floors, vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn percentile_empty_is_none() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.percentile(0.99), None);
+    }
+
+    #[test]
+    fn percentile_single_sample_is_that_sample() {
+        let mut h = Histogram::new();
+        h.record(42);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), Some(42), "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentile_is_monotone_and_bounded() {
+        let mut h = Histogram::new();
+        for v in [1u64, 5, 9, 120, 130, 800, 900, 10_000] {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.50).unwrap();
+        let p90 = h.percentile(0.90).unwrap();
+        let p99 = h.percentile(0.99).unwrap();
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        assert!(p50 >= h.min().unwrap() && p99 <= h.max().unwrap());
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(h.percentile(-1.0), Some(h.percentile(0.0).unwrap()));
+        assert_eq!(h.percentile(2.0), Some(h.max().unwrap()));
+    }
+
+    #[test]
+    fn percentile_survives_top_bucket_samples() {
+        // Samples >= 2^63 land in bucket idx 64, whose upper bound must
+        // saturate rather than overflow the shift.
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.percentile(0.5), Some(u64::MAX));
+        h.record(1);
+        let p50 = h.percentile(0.5).unwrap();
+        assert!((1..=u64::MAX).contains(&p50));
+        assert_eq!(h.percentile(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn percentile_tail_reaches_top_bucket() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(1_000_000);
+        // p50 sits in the dense low bucket ([8, 15] for sample 10), p100 in
+        // the outlier bucket.
+        let p50 = h.percentile(0.5).unwrap();
+        assert!((10..=15).contains(&p50), "{p50}");
+        assert_eq!(h.percentile(1.0), Some(1_000_000));
     }
 
     #[test]

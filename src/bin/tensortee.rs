@@ -22,12 +22,13 @@ const USAGE: &str = "usage: tensortee <command>
 
 commands:
   list                          list registered artifacts
-  run <id>... [--json] [--fast] run specific artifacts
-  run --all [--json] [--fast]   run the whole registry
+  run <id>... [--json] [--fast] [--seed <u64>] run specific artifacts
+  run --all [--json] [--fast] [--seed <u64>]   run the whole registry
 
 flags:
-  --json   emit machine-readable JSON instead of markdown
-  --fast   reduced context: coarser sim scale, fewer models/sweep points";
+  --json        emit machine-readable JSON instead of markdown
+  --fast        reduced context: coarser sim scale, fewer models/sweep points
+  --seed <u64>  seed for stochastic artifacts (serving traces); default 42";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -66,12 +67,27 @@ fn run(args: &[String]) -> ExitCode {
     let mut json = false;
     let mut fast = false;
     let mut all = false;
+    let mut seed: Option<u64> = None;
     let mut ids: Vec<&str> = Vec::new();
-    for arg in args {
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--fast" => fast = true,
             "--all" => all = true,
+            "--seed" => {
+                let Some(value) = it.next() else {
+                    eprintln!("--seed needs a value\n\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                match value.parse::<u64>() {
+                    Ok(s) => seed = Some(s),
+                    Err(_) => {
+                        eprintln!("--seed takes a u64, got {value:?}\n\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             flag if flag.starts_with('-') => {
                 eprintln!("unknown flag {flag:?}\n\n{USAGE}");
                 return ExitCode::from(2);
@@ -103,11 +119,14 @@ fn run(args: &[String]) -> ExitCode {
         picked
     };
 
-    let ctx = if fast {
+    let mut ctx = if fast {
         RunContext::fast()
     } else {
         RunContext::full()
     };
+    if let Some(seed) = seed {
+        ctx = ctx.with_seed(seed);
+    }
     let reports: Vec<_> = selection
         .iter()
         .map(|a| {
