@@ -1,0 +1,44 @@
+//! Design-space exploration — Pareto frontier + knob sensitivity over
+//! the training scenario (tee-explore extension; see EXPERIMENTS.md).
+//!
+//! Prints both registered exploration reports (the sweep prices every
+//! sampled hardware point through the full training-step simulator under
+//! all three modes), then Criterion-times the two engine kernels that
+//! bound a sweep's overhead: the Latin-hypercube sampling plan and the
+//! three-objective Pareto frontier over a pre-priced evaluation set.
+
+use criterion::black_box;
+use tee_bench::{criterion_quick, run_registered};
+use tee_explore::{pareto_frontier, Executor, Knob, Sense, Space};
+
+fn main() {
+    run_registered("explore_pareto");
+    run_registered("explore_sensitivity");
+
+    // Kernel timing: sampling plan + frontier on a synthetic sweep shaped
+    // like the real one (3 objectives, hundreds of evaluations).
+    let space = Space::new(vec![
+        Knob::numeric("a", [1.0, 2.0, 3.0]),
+        Knob::numeric("b", [1.0, 2.0, 3.0]),
+        Knob::numeric("c", [1.0, 2.0, 3.0, 4.0]),
+        Knob::numeric("d", [1.0, 2.0]),
+    ]);
+    let points = space.latin_hypercube(64, 42);
+    let evals = Executor::new(4, 42).run(&points, &|_i, p, mut rng| {
+        vec![
+            space.value(p, 0) * 100.0 + rng.next_f64(),
+            space.value(p, 1) + rng.next_f64(),
+            space.value(p, 2) * 0.01,
+        ]
+    });
+    let senses = [Sense::Maximize, Sense::Minimize, Sense::Minimize];
+
+    let mut c = criterion_quick();
+    c.bench_function("explore/lhs_64pts", |b| {
+        b.iter(|| black_box(space.latin_hypercube(black_box(64), 42).len()))
+    });
+    c.bench_function("explore/pareto_192evals", |b| {
+        b.iter(|| black_box(pareto_frontier(black_box(&evals), &senses).len()))
+    });
+    c.final_summary();
+}

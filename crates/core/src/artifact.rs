@@ -46,6 +46,14 @@ pub struct RunContext {
     pub serve_rate_rps: f64,
     /// Load multipliers of the nominal rate swept by `serve_sweep`.
     pub serve_load_factors: Vec<f64>,
+    /// Worker threads the design-space explorer fans points across (the
+    /// CLI plumbs `--threads` here). Results are bit-identical for any
+    /// value — the workers draw per-point RNG sub-streams.
+    pub worker_threads: u32,
+    /// Point budget per exploration scenario (the CLI plumbs `--points`
+    /// here): the full knob grid when it fits, otherwise a seeded
+    /// Latin-hypercube sample of this size.
+    pub explore_points: u32,
     /// Whether this is the reduced (`--fast`) context; runners gate their
     /// most expensive sweeps on it.
     pub fast: bool,
@@ -67,6 +75,8 @@ impl RunContext {
             serve_requests: 48,
             serve_rate_rps: 8.0,
             serve_load_factors: vec![0.5, 1.0, 2.0],
+            worker_threads: 4,
+            explore_points: 96,
             fast: false,
         }
     }
@@ -84,6 +94,7 @@ impl RunContext {
             hit_iterations: 6,
             serve_requests: 16,
             serve_load_factors: vec![1.0, 2.0],
+            explore_points: 32,
             fast: true,
             ..Self::full()
         }
@@ -111,6 +122,21 @@ impl RunContext {
     /// `--seed` lands here).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Replaces the explorer's worker-thread count (builder form; the
+    /// CLI's `--threads` lands here). Never changes results — only
+    /// wall-clock.
+    pub fn with_worker_threads(mut self, threads: u32) -> Self {
+        self.worker_threads = threads.max(1);
+        self
+    }
+
+    /// Replaces the explorer's point budget (builder form; the CLI's
+    /// `--points` lands here).
+    pub fn with_explore_points(mut self, points: u32) -> Self {
+        self.explore_points = points.max(1);
         self
     }
 
@@ -187,7 +213,7 @@ impl Artifact {
 }
 
 /// The registry, in paper presentation order.
-static REGISTRY: [Artifact; 17] = [
+static REGISTRY: [Artifact; 19] = [
     Artifact {
         id: "fig03",
         title: "CPU TEE slowdown vs. thread count",
@@ -310,6 +336,21 @@ static REGISTRY: [Artifact; 17] = [
         claim: "TensorTEE goodput tracks offered load; staging saturates early, worse under bursts",
         runner: |ctx| experiments::serve_sweep(ctx).1,
     },
+    Artifact {
+        id: "explore_pareto",
+        title: "Design-space exploration: Pareto frontier",
+        paper_anchor: "extension (\u{a7}6 across the hardware space)",
+        claim: "TensorTEE holds the throughput/exposure/crypto frontier across swept bus, HBM, \
+                PE and MAC-granularity knobs; the report explains any mode that never does",
+        runner: |ctx| crate::explore::explore_pareto(ctx).1,
+    },
+    Artifact {
+        id: "explore_sensitivity",
+        title: "Design-space exploration: knob sensitivity (tornado)",
+        paper_anchor: "extension (\u{a7}6 across the hardware space)",
+        claim: "one-at-a-time swings rank which hardware knob moves each mode's throughput most",
+        runner: |ctx| crate::explore::explore_sensitivity(ctx).1,
+    },
 ];
 
 /// All registered artifacts, in paper presentation order.
@@ -328,7 +369,7 @@ mod tests {
 
     #[test]
     fn registry_covers_the_evaluation() {
-        assert!(registry().len() >= 17);
+        assert!(registry().len() >= 19);
         for id in [
             "fig03",
             "fig04",
@@ -347,6 +388,8 @@ mod tests {
             "ablations",
             "serve_latency",
             "serve_sweep",
+            "explore_pareto",
+            "explore_sensitivity",
         ] {
             assert!(find(id).is_some(), "{id} missing from registry");
         }
@@ -370,6 +413,16 @@ mod tests {
         assert!(fast.serve_requests < full.serve_requests);
         assert_eq!(fast.seed, full.seed);
         assert_eq!(RunContext::fast().with_seed(7).seed, 7);
+        // The explorer knobs: fast thins the point budget, keeps the
+        // worker count, and the builders clamp to at least one.
+        assert!(fast.explore_points < full.explore_points);
+        assert_eq!(fast.worker_threads, full.worker_threads);
+        assert_eq!(RunContext::fast().with_worker_threads(0).worker_threads, 1);
+        assert_eq!(RunContext::fast().with_worker_threads(8).worker_threads, 8);
+        assert_eq!(
+            RunContext::fast().with_explore_points(12).explore_points,
+            12
+        );
     }
 
     #[test]

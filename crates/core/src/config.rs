@@ -2,9 +2,10 @@
 //! multi-NPU cluster shape.
 
 use serde::Serialize;
-use tee_comm::Interconnect;
+use tee_comm::{Interconnect, PcieLink};
 use tee_cpu::CpuConfig;
 use tee_npu::NpuConfig;
+use tee_sim::Time;
 
 /// The three configurations compared throughout §6.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -55,6 +56,14 @@ pub struct SystemConfig {
     /// Adam iterations simulated per measurement (steady state taken from
     /// the last iteration).
     pub cpu_iterations: u32,
+    /// CPU↔NPU bus bandwidth in bytes per second (Table 1: PCIe 4.0 ×16,
+    /// 32 GB/s). A design-space knob: the transfer protocols build their
+    /// links from it.
+    pub pcie_bytes_per_sec: f64,
+    /// MAC-block granularity of the MGX-style baseline NPU TEE in bytes
+    /// (§3.2: 512 B). A design-space knob for the `SgxMgx` mode; the
+    /// other modes ignore it.
+    pub mgx_mac_granularity: u64,
 }
 
 impl Default for SystemConfig {
@@ -66,6 +75,8 @@ impl Default for SystemConfig {
             cpu_threads: 8,
             sim_scale: 16_384,
             cpu_iterations: 3,
+            pcie_bytes_per_sec: PcieLink::GEN4_X16_BYTES_PER_SEC,
+            mgx_mac_granularity: 512,
         }
     }
 }
@@ -106,6 +117,13 @@ impl Default for ClusterConfig {
 }
 
 impl SystemConfig {
+    /// One direction of the CPU↔NPU bus at this configuration's
+    /// bandwidth (Gen4-×16 base latency — the knob scales lanes, not
+    /// silicon distance).
+    pub fn pcie_link(&self) -> PcieLink {
+        PcieLink::new(self.pcie_bytes_per_sec, Time::from_ns(600))
+    }
+
     /// A configuration for quick unit tests (coarser scale, fewer
     /// iterations).
     pub fn fast_sim() -> Self {
@@ -168,6 +186,14 @@ mod tests {
         let c = SystemConfig::default();
         assert_eq!(c.cpu_threads, 8);
         assert!(c.sim_scale > 0);
+        // The design-space knobs default to the paper's Table-1 bus and
+        // §3.2 MAC block, so existing artifacts are bit-identical.
+        assert_eq!(c.pcie_bytes_per_sec, PcieLink::GEN4_X16_BYTES_PER_SEC);
+        assert_eq!(c.mgx_mac_granularity, 512);
+        assert_eq!(
+            c.pcie_link().occupancy(64 << 20),
+            PcieLink::gen4_x16().occupancy(64 << 20)
+        );
     }
 
     #[test]

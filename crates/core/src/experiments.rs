@@ -854,8 +854,9 @@ pub fn serve_profile(mode: crate::SecureMode) -> SecurityProfile {
     }
 }
 
-/// Metric-name suffix for a mode (`goodput_tensortee`, …).
-fn mode_key(mode: crate::SecureMode) -> &'static str {
+/// Metric-name suffix for a mode (`goodput_tensortee`, …); the explore
+/// runners share it for their per-mode metrics.
+pub(crate) fn mode_key(mode: crate::SecureMode) -> &'static str {
     match mode {
         crate::SecureMode::NonSecure => "non_secure",
         crate::SecureMode::SgxMgx => "sgx_mgx",

@@ -1,0 +1,734 @@
+//! Design-space exploration over the TensorTEE system models — the
+//! `explore_pareto` / `explore_sensitivity` artifacts and the engine
+//! behind `tensortee explore <train|cluster|serve>`.
+//!
+//! The paper evaluates its headline claims at a handful of hand-picked
+//! hardware points; this module asks *where in the hardware/security
+//! space* the TensorTEE advantage holds or collapses. A [`Scenario`]
+//! names knobs over the existing configurations (bus and HBM bandwidth,
+//! PE-array size, MGX MAC granularity, batch, cluster shape, serving
+//! load, model from the Table-2 zoo), `tee-explore` samples the space
+//! (full grid when it fits the point budget, seeded Latin hypercube
+//! otherwise) and fans the points across worker threads, and every point
+//! is priced through the *existing* simulators —
+//! [`TrainingSystem`] / [`ClusterSystem`] / [`tee_serve::simulate`] —
+//! under every security mode. Three objectives come back per evaluation:
+//!
+//! 1. **throughput** (tokens/s — maximize),
+//! 2. **exposed transfer time** (non-overlapped communication or KV
+//!    migration — minimize),
+//! 3. **crypto-traffic overhead** (staging re-encryption, verify stalls,
+//!    MAC traffic — as a fraction of the step/makespan — minimize).
+//!
+//! The analysis layer distills the evaluations into a multi-objective
+//! Pareto frontier, per-knob one-at-a-time tornado sensitivities, and
+//! the **crossover** report: sampled configurations (if any) where the
+//! SGX+MGX-style baseline overtakes TensorTEE.
+//!
+//! Everything is deterministic: the sampling plan is a pure function of
+//! `(space, points, seed)`, each point evaluates under its own
+//! [`tee_sim::SplitMix64`] sub-stream, and reports are byte-identical
+//! for any `--threads` value.
+
+use crate::artifact::RunContext;
+use crate::config::{ClusterConfig, SecureMode, SystemConfig};
+use crate::experiments::{mode_key, serve_profile};
+use crate::report::{pct, Report, Table};
+use crate::system::{ClusterSystem, TrainingSystem};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+use tee_comm::Interconnect;
+use tee_explore::{dominator_of, pareto_frontier, tornado, Executor, Knob, Point, Sense, Space};
+use tee_mem::DramConfig;
+use tee_serve::{simulate, KvProtocol, ServeConfig, TraceConfig};
+use tee_sim::{SplitMix64, Time};
+use tee_workloads::zoo::ModelConfig;
+use tee_workloads::StepSchedule;
+
+/// The workload class a design-space sweep prices its points through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Single-NPU ZeRO-Offload training steps ([`TrainingSystem`]).
+    Train,
+    /// N-way data-parallel training with the secure ring all-reduce
+    /// ([`ClusterSystem`]).
+    Cluster,
+    /// Continuous-batching inference serving ([`tee_serve`]).
+    Serve,
+}
+
+impl Scenario {
+    /// Display label (also the CLI subcommand argument).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scenario::Train => "train",
+            Scenario::Cluster => "cluster",
+            Scenario::Serve => "serve",
+        }
+    }
+
+    /// Parses a CLI scenario argument.
+    pub fn parse(s: &str) -> Option<Scenario> {
+        match s {
+            "train" => Some(Scenario::Train),
+            "cluster" => Some(Scenario::Cluster),
+            "serve" => Some(Scenario::Serve),
+            _ => None,
+        }
+    }
+
+    /// All scenarios, in presentation order.
+    pub fn all() -> [Scenario; 3] {
+        [Scenario::Train, Scenario::Cluster, Scenario::Serve]
+    }
+}
+
+/// The optimization senses of the three objectives:
+/// `[throughput ↑, exposed transfer ↓, crypto-traffic overhead ↓]`.
+pub const SENSES: [Sense; 3] = [Sense::Maximize, Sense::Minimize, Sense::Minimize];
+
+/// One priced evaluation: a sampled hardware point under one mode.
+#[derive(Debug, Clone)]
+pub struct ModeEval {
+    /// The security mode.
+    pub mode: SecureMode,
+    /// Objective 1: end-to-end token throughput (training: batch tokens
+    /// per step; serving: goodput).
+    pub throughput_tps: f64,
+    /// Objective 2: exposed (non-overlapped) transfer / KV-migration
+    /// time.
+    pub exposed: Time,
+    /// Objective 3: crypto-traffic overhead as a fraction of the step or
+    /// makespan (staging re-encryption + verify stalls + MAC traffic).
+    pub crypto_frac: f64,
+}
+
+impl ModeEval {
+    /// The objective vector in [`SENSES`] order (exposed time in
+    /// milliseconds).
+    pub fn objectives(&self) -> Vec<f64> {
+        vec![
+            self.throughput_tps,
+            self.exposed.as_ms_f64(),
+            self.crypto_frac,
+        ]
+    }
+}
+
+/// A completed sweep: the space, the sampled points, and the per-point,
+/// per-mode evaluations.
+#[derive(Debug, Clone)]
+pub struct ExploreRun {
+    /// The scenario the points were priced through.
+    pub scenario: Scenario,
+    /// The knob space.
+    pub space: Space,
+    /// The sampled points, in sampling-plan order.
+    pub points: Vec<Point>,
+    /// `evals[i][j]`: point `i` under `ctx.modes[j]`.
+    pub evals: Vec<Vec<ModeEval>>,
+}
+
+impl ExploreRun {
+    /// The evaluations flattened point-major: `(point index, eval)`.
+    pub fn flat(&self) -> Vec<(usize, &ModeEval)> {
+        self.points
+            .iter()
+            .enumerate()
+            .flat_map(|(i, _)| self.evals[i].iter().map(move |e| (i, e)))
+            .collect()
+    }
+
+    /// Indices into [`Self::flat`] of the Pareto-non-dominated
+    /// evaluations under [`SENSES`].
+    pub fn frontier(&self) -> Vec<usize> {
+        let objs: Vec<Vec<f64>> = self.flat().iter().map(|(_, e)| e.objectives()).collect();
+        pareto_frontier(&objs, &SENSES)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Spaces.
+// ---------------------------------------------------------------------
+
+/// The model knob shared by every scenario: levels are indices into
+/// `ctx.models`, labelled with the model names.
+fn model_knob(ctx: &RunContext) -> Knob {
+    Knob::labeled(
+        "model",
+        ctx.models
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.name, i as f64)),
+    )
+}
+
+/// The knob space of `scenario` over `ctx` (see the module docs for the
+/// knob list).
+pub fn space_for(scenario: Scenario, ctx: &RunContext) -> Space {
+    match scenario {
+        Scenario::Train => Space::new(vec![
+            model_knob(ctx),
+            Knob::numeric("batch x", [0.5, 1.0, 2.0]),
+            Knob::numeric("PCIe GB/s", [16.0, 32.0, 64.0]),
+            Knob::numeric("HBM GB/s", [64.0, 128.0, 256.0]),
+            Knob::numeric("PE dim", [256.0, 512.0, 1024.0]),
+            Knob::numeric("MGX MAC B", [64.0, 512.0, 4096.0]),
+        ]),
+        Scenario::Cluster => Space::new(vec![
+            model_knob(ctx),
+            Knob::numeric("NPUs", ctx.cluster_sizes.iter().map(|&n| f64::from(n))),
+            Knob::labeled("fabric", [("pcie-p2p", 0.0), ("nvlink", 1.0)]),
+            Knob::numeric("PCIe GB/s", [16.0, 32.0, 64.0]),
+            Knob::numeric("HBM GB/s", [64.0, 128.0, 256.0]),
+            Knob::numeric("PE dim", [256.0, 512.0, 1024.0]),
+        ]),
+        Scenario::Serve => Space::new(vec![
+            model_knob(ctx),
+            Knob::numeric("load x", [0.5, 1.0, 2.0, 4.0]),
+            Knob::numeric("HBM GB/s", [64.0, 128.0, 256.0]),
+            Knob::numeric("PE dim", [256.0, 512.0, 1024.0]),
+            Knob::numeric("KV resident reqs", [2.0, 4.0, 8.0]),
+        ]),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Point pricing.
+// ---------------------------------------------------------------------
+
+/// A GDDR/HBM configuration scaled to `gbps` aggregate GB/s (Table-1
+/// channel geometry).
+fn hbm_dram(gbps: f64) -> DramConfig {
+    let base = DramConfig::gddr5_128gbs();
+    DramConfig {
+        channel_bytes_per_sec: gbps * 1e9 / f64::from(base.channels),
+        ..base
+    }
+}
+
+/// The model named by knob 0 of `point`.
+fn model_at(ctx: &RunContext, space: &Space, point: &Point) -> ModelConfig {
+    ctx.models[space.value(point, 0) as usize]
+}
+
+/// The CPU Adam phase for `(ctx.cfg's CPU side, mode, model)`, memoized
+/// process-wide: the cacheline-level CPU simulation dominates a point's
+/// cost but is independent of every NPU/bus/batch knob, so a sweep pays
+/// it once per `(model, mode)` pair. The cached value is a pure function
+/// of the key, so memoization cannot perturb determinism.
+fn cached_cpu_time(cfg: &SystemConfig, mode: SecureMode, model: &ModelConfig) -> Time {
+    static MEMO: OnceLock<Mutex<BTreeMap<String, Time>>> = OnceLock::new();
+    let key = format!(
+        "{:?}|{}|{}|{}|{:?}|{}",
+        cfg.cpu, cfg.cpu_threads, cfg.sim_scale, cfg.cpu_iterations, mode, model.name
+    );
+    let memo = MEMO.get_or_init(|| Mutex::new(BTreeMap::new()));
+    if let Some(&t) = memo.lock().expect("cpu memo lock").get(&key) {
+        return t;
+    }
+    // Compute outside the lock so concurrent workers on different keys
+    // do not serialize behind one CPU simulation.
+    let t = TrainingSystem::new(cfg.clone(), mode).cpu_time(&StepSchedule::of(model));
+    memo.lock().expect("cpu memo lock").insert(key, t);
+    t
+}
+
+/// Prices one training point under every context mode.
+fn eval_train(ctx: &RunContext, space: &Space, point: &Point) -> Vec<ModeEval> {
+    let mut model = model_at(ctx, space, point);
+    model.batch_size = ((model.batch_size as f64 * space.value(point, 1)).round() as u64).max(1);
+    let mut cfg = ctx.cfg.clone();
+    cfg.pcie_bytes_per_sec = space.value(point, 2) * 1e9;
+    cfg.npu.dram = hbm_dram(space.value(point, 3));
+    cfg.npu.pe_dim = space.value(point, 4) as u64;
+    cfg.mgx_mac_granularity = space.value(point, 5) as u64;
+    let schedule = StepSchedule::of(&model);
+    ctx.modes
+        .iter()
+        .map(|&mode| {
+            let cpu = cached_cpu_time(&ctx.cfg, mode, &model_at(ctx, space, point));
+            let sys = TrainingSystem::new(cfg.clone(), mode);
+            // Price the NPU phase and the transfers once, then compose
+            // the step from them — the same components feed the crypto
+            // objective.
+            let npu = sys.npu_report(&schedule);
+            let comm = sys.comm_costs(&schedule);
+            let step = sys.compose_step(npu.total, cpu, &comm);
+            let crypto = comm.grad.re_encryption
+                + comm.grad.decryption
+                + comm.weight.re_encryption
+                + comm.weight.decryption
+                + npu.verify_stall;
+            let total = step.total();
+            ModeEval {
+                mode,
+                throughput_tps: model.tokens_per_step() as f64 / total.as_secs_f64(),
+                exposed: step.comm_w + step.comm_g,
+                crypto_frac: crypto.as_secs_f64() / total.as_secs_f64()
+                    + sys.mac_scheme().traffic_overhead(),
+            }
+        })
+        .collect()
+}
+
+/// Prices one cluster point under every context mode.
+fn eval_cluster(ctx: &RunContext, space: &Space, point: &Point) -> Vec<ModeEval> {
+    let model = model_at(ctx, space, point);
+    let n_npus = space.value(point, 1) as u32;
+    let interconnect = if space.value(point, 2) == 0.0 {
+        Interconnect::PcieP2p
+    } else {
+        Interconnect::NvlinkLike
+    };
+    let mut cfg = ctx.cfg.clone();
+    cfg.pcie_bytes_per_sec = space.value(point, 3) * 1e9;
+    cfg.npu.dram = hbm_dram(space.value(point, 4));
+    cfg.npu.pe_dim = space.value(point, 5) as u64;
+    let cluster = ClusterConfig {
+        n_npus,
+        interconnect,
+    };
+    let schedule = StepSchedule::of(&model);
+    let replica = schedule.data_parallel_replica(n_npus);
+    ctx.modes
+        .iter()
+        .map(|&mode| {
+            // Adam runs on the reduced (model-sized) gradients, so the
+            // cached per-(model, mode) CPU phase applies at any N.
+            let cpu = cached_cpu_time(&ctx.cfg, mode, &model);
+            let sys = ClusterSystem::new(cfg.clone(), cluster, mode);
+            // Price each phase once (replica transfers, collective,
+            // broadcast), compose the step, and feed the same components
+            // into the crypto objective.
+            let point_sys = TrainingSystem::new(cfg.clone(), mode);
+            let npu = point_sys.npu_report(&replica);
+            let comm = point_sys.comm_costs(&replica);
+            let ar = sys.all_reduce_cost(replica.grad_bytes);
+            let bcast = sys.weight_broadcast_cost(replica.weight_bytes);
+            let step = sys.compose_step(npu.total, cpu, &comm, &ar, bcast);
+            let crypto = comm.grad.re_encryption
+                + comm.grad.decryption
+                + comm.weight.re_encryption
+                + comm.weight.decryption
+                + ar.re_encryption
+                + ar.decryption
+                + npu.verify_stall;
+            let total = step.total();
+            ModeEval {
+                mode,
+                throughput_tps: model.tokens_per_step() as f64 / total.as_secs_f64(),
+                exposed: step.comm_w + step.comm_g + step.comm_ar,
+                crypto_frac: crypto.as_secs_f64() / total.as_secs_f64()
+                    + point_sys.mac_scheme().traffic_overhead(),
+            }
+        })
+        .collect()
+}
+
+/// The crypto share of one KV transfer under `protocol`: the fraction of
+/// a reference migration's wall-clock that is staging conversion rather
+/// than bus/DRAM time (0 for the plain and direct paths).
+fn kv_crypto_share(protocol: KvProtocol) -> f64 {
+    const REF_BYTES: u64 = 64 << 20;
+    let plain = KvProtocol::Plain.transfer_time(REF_BYTES).as_secs_f64();
+    let own = protocol.transfer_time(REF_BYTES).as_secs_f64();
+    if own <= 0.0 {
+        0.0
+    } else {
+        (1.0 - plain / own).max(0.0)
+    }
+}
+
+/// Prices one serving point under every context mode. The request trace
+/// is shared across the modes (a fair comparison needs identical
+/// arrivals) and its seed is a fixed sub-stream of the context seed,
+/// identical for *every point*: common random numbers, so comparing two
+/// points (and the tornado's one-at-a-time swings) measures the knobs,
+/// not trace resampling noise. The load knob still reshapes arrivals —
+/// the same uniform draws stretch to the new rate.
+fn eval_serve(ctx: &RunContext, space: &Space, point: &Point) -> Vec<ModeEval> {
+    let model = model_at(ctx, space, point);
+    let rate = ctx.serve_rate_rps * space.value(point, 1);
+    let mut npu = ctx.cfg.npu.clone();
+    npu.dram = hbm_dram(space.value(point, 2));
+    npu.pe_dim = space.value(point, 3) as u64;
+    let resident = space.value(point, 4) as u64;
+    let trace_seed = SplitMix64::new(ctx.seed).split(0).next_u64();
+    let mut trace_cfg = TraceConfig::poisson(ctx.serve_requests, rate, trace_seed);
+    if ctx.fast {
+        // The reduced context trims conversations exactly like the
+        // registered serving artifacts do (see experiments::serve_setup).
+        trace_cfg.prompt_mean = 256;
+        trace_cfg.output_mean = 48;
+    }
+    let cfg = ServeConfig::for_model(&model, resident, trace_cfg.steady_tokens()).with_npu(npu);
+    let trace = trace_cfg.generate();
+    ctx.modes
+        .iter()
+        .map(|&mode| {
+            let profile = serve_profile(mode);
+            let rep = simulate(&cfg, &model, &profile, &trace);
+            let makespan = rep.makespan.as_secs_f64().max(1e-12);
+            let kv_crypto =
+                rep.kv_transfer_time.as_secs_f64() * kv_crypto_share(profile.kv_protocol);
+            ModeEval {
+                mode,
+                throughput_tps: rep.goodput_tps(),
+                exposed: rep.kv_exposed_time,
+                crypto_frac: profile.mac.traffic_overhead() + kv_crypto / makespan,
+            }
+        })
+        .collect()
+}
+
+/// Samples `ctx.explore_points` points of the scenario's space and
+/// prices them across `ctx.worker_threads` workers.
+pub fn run_scenario(scenario: Scenario, ctx: &RunContext) -> ExploreRun {
+    let space = space_for(scenario, ctx);
+    let points = space.sample(ctx.explore_points as usize, ctx.seed);
+    run_points(scenario, ctx, space, points)
+}
+
+/// Prices an explicit point list (the sensitivity sweep reuses this with
+/// a one-at-a-time plan).
+fn run_points(
+    scenario: Scenario,
+    ctx: &RunContext,
+    space: Space,
+    points: Vec<Point>,
+) -> ExploreRun {
+    // Warm the per-(model, mode) CPU cache serially: with cold caches,
+    // parallel workers hitting the same pair would each pay the full
+    // cacheline-level simulation.
+    if matches!(scenario, Scenario::Train | Scenario::Cluster) {
+        let mut model_indices: Vec<usize> =
+            points.iter().map(|p| space.value(p, 0) as usize).collect();
+        model_indices.sort_unstable();
+        model_indices.dedup();
+        for mi in model_indices {
+            for &mode in &ctx.modes {
+                cached_cpu_time(&ctx.cfg, mode, &ctx.models[mi]);
+            }
+        }
+    }
+    let executor = Executor::new(ctx.worker_threads, ctx.seed);
+    // The per-point RNG sub-stream is part of the executor contract (it
+    // is what makes thread count invisible); today's evaluators are
+    // common-random-number designs that draw nothing from it.
+    let evals = executor.run(&points, &|_i, point, _rng| match scenario {
+        Scenario::Train => eval_train(ctx, &space, point),
+        Scenario::Cluster => eval_cluster(ctx, &space, point),
+        Scenario::Serve => eval_serve(ctx, &space, point),
+    });
+    ExploreRun {
+        scenario,
+        space,
+        points,
+        evals,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reports.
+// ---------------------------------------------------------------------
+
+fn report_for(id: &str, scenario: Scenario) -> Report {
+    let mut report = crate::artifact::find(id)
+        .unwrap_or_else(|| panic!("artifact {id:?} not registered"))
+        .new_report();
+    report.note(format!("Scenario: {}.", scenario.label()));
+    report
+}
+
+/// Formats a throughput in tokens/second.
+fn tps(v: f64) -> String {
+    format!("{v:.0} tok/s")
+}
+
+/// Runs the `explore_pareto` artifact for `scenario`: the sampled sweep,
+/// its three-objective Pareto frontier, per-mode frontier presence (with
+/// an explanatory note for any mode that is never non-dominated), and
+/// the SGX+MGX-vs-TensorTEE crossover analysis.
+pub fn explore_pareto_for(scenario: Scenario, ctx: &RunContext) -> (ExploreRun, Report) {
+    let run = run_scenario(scenario, ctx);
+    let flat = run.flat();
+    let objs: Vec<Vec<f64>> = flat.iter().map(|(_, e)| e.objectives()).collect();
+    let frontier = pareto_frontier(&objs, &SENSES);
+
+    let mut report = report_for("explore_pareto", scenario);
+    let mut table = Table::new(["mode", "throughput", "exposed", "crypto", "configuration"])
+        .captioned(format!(
+            "Pareto frontier — {} of {} evaluations non-dominated ({} points x {} modes, seed {})",
+            frontier.len(),
+            flat.len(),
+            run.points.len(),
+            ctx.modes.len(),
+            ctx.seed,
+        ));
+    for &f in &frontier {
+        let (pi, e) = &flat[f];
+        table.row([
+            e.mode.label().to_string(),
+            tps(e.throughput_tps),
+            e.exposed.to_string(),
+            pct(e.crypto_frac),
+            run.space.describe(&run.points[*pi]),
+        ]);
+    }
+    report.table(table);
+    report.metric("points", run.points.len() as f64);
+    report.metric("evaluations", flat.len() as f64);
+    report.metric("frontier_size", frontier.len() as f64);
+
+    // Per-mode frontier presence; a mode that never makes the frontier
+    // gets an explanatory note naming its most frequent dominator.
+    for &mode in &ctx.modes {
+        let on_frontier = frontier.iter().filter(|&&f| flat[f].1.mode == mode).count();
+        report.metric(format!("frontier_{}", mode_key(mode)), on_frontier as f64);
+        if on_frontier > 0 {
+            report.note(format!(
+                "{}: {} non-dominated evaluation(s) on the frontier.",
+                mode.label(),
+                on_frontier
+            ));
+        } else {
+            let mut dominator_modes: BTreeMap<&str, usize> = BTreeMap::new();
+            let mut dominated = 0usize;
+            for (f, (_, e)) in flat.iter().enumerate() {
+                if e.mode != mode {
+                    continue;
+                }
+                dominated += 1;
+                if let Some(d) = dominator_of(f, &objs, &SENSES) {
+                    *dominator_modes.entry(flat[d].1.mode.label()).or_default() += 1;
+                }
+            }
+            let top = dominator_modes
+                .iter()
+                .max_by_key(|(_, &n)| n)
+                .map(|(label, &n)| format!("{label} ({n}/{dominated})"))
+                .unwrap_or_else(|| "itself".into());
+            report.note(format!(
+                "{} is never non-dominated: each of its {} evaluations is Pareto-dominated \
+                 (most often by {}), i.e. for every one of its sampled configurations, some \
+                 other evaluation in the sweep matches or beats its throughput while exposing \
+                 no more transfer time and no more crypto traffic.",
+                mode.label(),
+                dominated,
+                top
+            ));
+        }
+    }
+
+    // The frontier *among the secure modes*: with the non-secure
+    // reference excluded (it weakly upper-bounds all three objectives at
+    // matched hardware, so it tends to absorb the global frontier), the
+    // table shows which protected configurations are worth building.
+    let secure: Vec<usize> = (0..flat.len())
+        .filter(|&f| flat[f].1.mode != SecureMode::NonSecure)
+        .collect();
+    if !secure.is_empty() {
+        let secure_objs: Vec<Vec<f64>> = secure.iter().map(|&f| objs[f].clone()).collect();
+        let secure_frontier = pareto_frontier(&secure_objs, &SENSES);
+        let mut table = Table::new(["mode", "throughput", "exposed", "crypto", "configuration"])
+            .captioned(format!(
+                "Secure-modes frontier — {} of {} protected evaluations non-dominated",
+                secure_frontier.len(),
+                secure.len(),
+            ));
+        for &sf in &secure_frontier {
+            let (pi, e) = &flat[secure[sf]];
+            table.row([
+                e.mode.label().to_string(),
+                tps(e.throughput_tps),
+                e.exposed.to_string(),
+                pct(e.crypto_frac),
+                run.space.describe(&run.points[*pi]),
+            ]);
+        }
+        report.table(table);
+        report.metric("frontier_secure_size", secure_frontier.len() as f64);
+        for &mode in &ctx.modes {
+            if mode == SecureMode::NonSecure {
+                continue;
+            }
+            let n = secure_frontier
+                .iter()
+                .filter(|&&sf| flat[secure[sf]].1.mode == mode)
+                .count();
+            report.metric(format!("frontier_secure_{}", mode_key(mode)), n as f64);
+        }
+    }
+
+    // Crossover: where does the staging baseline overtake TensorTEE?
+    let find_mode = |evals: &[ModeEval], mode| -> Option<ModeEval> {
+        evals.iter().find(|e| e.mode == mode).cloned()
+    };
+    let mut crossovers: Vec<(usize, f64)> = Vec::new();
+    let mut speedups: Vec<f64> = Vec::new();
+    for (i, evals) in run.evals.iter().enumerate() {
+        let (Some(base), Some(ours)) = (
+            find_mode(evals, SecureMode::SgxMgx),
+            find_mode(evals, SecureMode::TensorTee),
+        ) else {
+            continue;
+        };
+        let speedup = ours.throughput_tps / base.throughput_tps.max(1e-12);
+        speedups.push(speedup);
+        if speedup < 1.0 {
+            crossovers.push((i, speedup));
+        }
+    }
+    if !speedups.is_empty() {
+        let min = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = speedups.iter().copied().fold(0.0f64, f64::max);
+        report.metric("crossover_points", crossovers.len() as f64);
+        report.metric("min_speedup_vs_sgx_mgx", min);
+        report.metric("max_speedup_vs_sgx_mgx", max);
+        if crossovers.is_empty() {
+            report.note(format!(
+                "No crossover: TensorTEE's throughput leads SGX+MGX at every sampled point \
+                 ({:.2}x-{:.2}x).",
+                min, max
+            ));
+        } else {
+            let mut t = Table::new(["TensorTEE/SGX+MGX", "configuration"]).captioned(format!(
+                "Crossover — {} sampled point(s) where SGX+MGX overtakes TensorTEE",
+                crossovers.len()
+            ));
+            for (i, s) in crossovers.iter().take(8) {
+                t.row([format!("{s:.2}x"), run.space.describe(&run.points[*i])]);
+            }
+            report.table(t);
+        }
+    }
+    (run, report)
+}
+
+/// Runs the `explore_sensitivity` artifact for `scenario`: a
+/// one-at-a-time sweep around the space's center point, reported as one
+/// tornado table per mode on the throughput objective.
+pub fn explore_sensitivity_for(scenario: Scenario, ctx: &RunContext) -> (ExploreRun, Report) {
+    let space = space_for(scenario, ctx);
+    let baseline = space.center();
+    let points = space.one_at_a_time(&baseline);
+    let run = run_points(scenario, ctx, space, points);
+
+    let mut report = report_for("explore_sensitivity", scenario);
+    for (j, &mode) in ctx.modes.iter().enumerate() {
+        let values: Vec<f64> = run.evals.iter().map(|e| e[j].throughput_tps).collect();
+        let base_value = values[0];
+        let rows = tornado(&run.space, &run.points, &values);
+        let mut table =
+            Table::new(["knob", "low", "at", "high", "at", "swing"]).captioned(format!(
+                "Tornado — {} throughput around {} ({})",
+                mode.label(),
+                run.space.describe(&run.points[0]),
+                tps(base_value),
+            ));
+        for r in &rows {
+            table.row([
+                r.knob.to_string(),
+                tps(r.low),
+                r.low_label.clone(),
+                tps(r.high),
+                r.high_label.clone(),
+                format!("{} ({})", tps(r.swing()), pct(r.swing_vs(base_value))),
+            ]);
+        }
+        report.table(table);
+        if let Some(top) = rows.first() {
+            report.metric(format!("top_swing_tps_{}", mode_key(mode)), top.swing());
+            report.note(format!(
+                "{}: most sensitive knob is {} ({} swing, {} of the baseline).",
+                mode.label(),
+                top.knob,
+                tps(top.swing()),
+                pct(top.swing_vs(base_value)),
+            ));
+        }
+    }
+    report.metric("oat_points", run.points.len() as f64);
+    (run, report)
+}
+
+/// The registered `explore_pareto` artifact (train scenario).
+pub fn explore_pareto(ctx: &RunContext) -> (ExploreRun, Report) {
+    explore_pareto_for(Scenario::Train, ctx)
+}
+
+/// The registered `explore_sensitivity` artifact (train scenario).
+pub fn explore_sensitivity(ctx: &RunContext) -> (ExploreRun, Report) {
+    explore_sensitivity_for(Scenario::Train, ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> RunContext {
+        // A thin sweep keeps the unit tests quick; the integration suite
+        // (tests/explore.rs) runs the registered budgets.
+        let mut c = RunContext::fast();
+        c.models.truncate(1);
+        c.explore_points = 8;
+        c
+    }
+
+    #[test]
+    fn spaces_have_the_documented_knobs() {
+        let c = ctx();
+        let train = space_for(Scenario::Train, &c);
+        assert_eq!(train.knobs().len(), 6);
+        assert_eq!(train.knobs()[0].name, "model");
+        assert_eq!(train.knobs()[0].len(), c.models.len());
+        let cluster = space_for(Scenario::Cluster, &c);
+        assert_eq!(cluster.knobs()[1].name, "NPUs");
+        assert_eq!(cluster.knobs()[1].len(), c.cluster_sizes.len());
+        let serve = space_for(Scenario::Serve, &c);
+        assert_eq!(serve.knobs().len(), 5);
+        assert_eq!(Scenario::parse("cluster"), Some(Scenario::Cluster));
+        assert_eq!(Scenario::parse("nope"), None);
+        for s in Scenario::all() {
+            assert_eq!(Scenario::parse(s.label()), Some(s));
+        }
+    }
+
+    #[test]
+    fn train_run_prices_every_mode_at_every_point() {
+        let c = ctx();
+        let run = run_scenario(Scenario::Train, &c);
+        assert_eq!(run.points.len(), c.explore_points as usize);
+        assert_eq!(run.evals.len(), run.points.len());
+        for evals in &run.evals {
+            assert_eq!(evals.len(), c.modes.len());
+            for e in evals {
+                assert!(e.throughput_tps > 0.0);
+                assert!(e.crypto_frac >= 0.0 && e.crypto_frac < 1.0, "{e:?}");
+            }
+            // Non-secure carries no crypto traffic; the staging baseline
+            // always does.
+            assert_eq!(evals[0].crypto_frac, 0.0);
+            assert!(evals[1].crypto_frac > 0.0);
+        }
+        let frontier = run.frontier();
+        assert!(!frontier.is_empty());
+        assert!(frontier.len() <= run.flat().len());
+    }
+
+    #[test]
+    fn kv_crypto_share_orders_protocols() {
+        assert_eq!(kv_crypto_share(KvProtocol::Plain), 0.0);
+        let staged = kv_crypto_share(KvProtocol::Staged);
+        let direct = kv_crypto_share(KvProtocol::Direct);
+        assert!(staged > 0.5, "{staged}");
+        assert!(direct < 0.05, "{direct}");
+    }
+
+    #[test]
+    fn hbm_knob_scales_aggregate_bandwidth() {
+        assert!((hbm_dram(256.0).total_bytes_per_sec() - 256e9).abs() < 1.0);
+        assert!((hbm_dram(64.0).total_bytes_per_sec() - 64e9).abs() < 1.0);
+    }
+}

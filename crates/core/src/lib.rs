@@ -38,6 +38,7 @@
 pub mod artifact;
 pub mod config;
 pub mod experiments;
+pub mod explore;
 pub mod hw;
 pub mod json;
 pub mod report;

@@ -134,9 +134,12 @@ impl TraceConfig {
         if let ArrivalProcess::Bursty { burst, .. } = self.arrivals {
             assert!(burst >= 1, "a burst needs at least one request");
         }
-        let mut rng = SplitMix64::new(self.seed);
-        let mut arrivals = rng.split();
-        let mut lengths = rng.split();
+        // Named sub-streams off the one trace seed (`SplitMix64::split`):
+        // arrival gaps and length draws stay independent, and adding a
+        // stream later cannot shift the existing ones.
+        let rng = SplitMix64::new(self.seed);
+        let mut arrivals = rng.split(0);
+        let mut lengths = rng.split(1);
         let mut at = 0.0f64;
         (0..self.n_requests)
             .map(|id| {

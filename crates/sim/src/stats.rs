@@ -180,9 +180,18 @@ impl Histogram {
                     64.. => u64::MAX,
                     _ => (1u64 << idx) - 1,
                 };
+                // Interpolate within the *observed* span of the bucket:
+                // the highest occupied bucket's nominal ceiling can sit
+                // far above the largest recorded sample (and the lowest
+                // bucket's floor below the smallest), so walking toward
+                // the nominal bound and clamping afterwards would pin
+                // every tail quantile to `max`. Tighten the bounds first,
+                // then interpolate.
+                let lo = floor.max(min);
+                let hi = ceil.min(max);
                 // Position of the rank within this bucket, in (0, 1].
                 let into = (rank - (cum - n)) as f64 / n as f64;
-                let est = floor as f64 + (ceil - floor) as f64 * into;
+                let est = lo as f64 + (hi - lo) as f64 * into;
                 return Some((est.round() as u64).clamp(min, max));
             }
         }
@@ -388,6 +397,29 @@ mod tests {
         let p50 = h.percentile(0.5).unwrap();
         assert!((10..=15).contains(&p50), "{p50}");
         assert_eq!(h.percentile(1.0), Some(1_000_000));
+    }
+
+    #[test]
+    fn percentile_top_bucket_interpolates_toward_observed_max() {
+        // Regression: a skewed sample whose tail sits in a sparsely
+        // filled top bucket. The bucket's nominal span is [2^19, 2^20-1]
+        // but the largest observed sample is 600_000, so p99 must
+        // interpolate toward 600_000 — not toward the nominal ceiling
+        // (which the old code did, saturating p99 at exactly max).
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(600_000);
+        }
+        let p99 = h.percentile(0.99).unwrap();
+        // rank 99 lands 0.9 into the top bucket: 524288 + 0.9·(600000 −
+        // 524288) = 592428.8 → 592429.
+        assert_eq!(p99, 592_429);
+        assert!(p99 < h.max().unwrap(), "p99 must not saturate at max");
+        // p100 still reaches the exact observed maximum.
+        assert_eq!(h.percentile(1.0), Some(600_000));
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! Design-space exploration walkthrough: sweep the hardware/security
+//! knob space, read the Pareto frontier, and rank the knobs by
+//! sensitivity.
+//!
+//! ```sh
+//! cargo run --release --example explore [points] [threads]
+//! ```
+//!
+//! Builds the training-scenario space (model x batch x PCIe x HBM x PE
+//! array x MGX MAC granularity), prices a seeded Latin-hypercube sample
+//! through the full training-step simulator under all three security
+//! modes in parallel, and prints (1) the sampling plan, (2) the global
+//! and secure-modes Pareto frontiers with the crossover analysis, and
+//! (3) the per-mode tornado tables. The same sweep is scriptable as
+//! `tensortee explore train` and registered as the `explore_pareto` /
+//! `explore_sensitivity` artifacts.
+
+use tensortee::artifact::RunContext;
+use tensortee::explore::{explore_pareto_for, explore_sensitivity_for, space_for, Scenario};
+
+fn main() {
+    let points: u32 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("points must be a positive integer"))
+        .unwrap_or(32);
+    let threads: u32 = std::env::args()
+        .nth(2)
+        .map(|a| a.parse().expect("threads must be a positive integer"))
+        .unwrap_or(4);
+
+    // The reduced context keeps the walkthrough in seconds; swap in
+    // RunContext::full() for the paper-fidelity sweep.
+    let ctx = RunContext::fast()
+        .with_explore_points(points)
+        .with_worker_threads(threads);
+
+    let space = space_for(Scenario::Train, &ctx);
+    println!("== The training design space ==\n");
+    for knob in space.knobs() {
+        let labels: Vec<&str> = knob.levels.iter().map(|l| l.label.as_str()).collect();
+        println!("{:<12} {}", knob.name, labels.join(" | "));
+    }
+    println!(
+        "\n{} grid points; sampling {} of them (seeded Latin hypercube), \
+         pricing 3 modes each on {} worker threads.\n",
+        space.size(),
+        ctx.explore_points,
+        ctx.worker_threads
+    );
+
+    let (run, pareto) = explore_pareto_for(Scenario::Train, &ctx);
+    println!("{}", pareto.to_markdown());
+    println!(
+        "({} evaluations total; results are byte-identical for any --threads value.)\n",
+        run.flat().len()
+    );
+
+    let (_, sensitivity) = explore_sensitivity_for(Scenario::Train, &ctx);
+    println!("{}", sensitivity.to_markdown());
+    println!(
+        "Reproduce from the CLI: `tensortee explore train --points {points} --threads {threads}` \
+         (add --json for the machine-readable report)."
+    );
+}

@@ -5,30 +5,108 @@
 //! tensortee run fig16                    # one artifact, markdown
 //! tensortee run fig16 fig21 --json      # several artifacts, JSON array
 //! tensortee run --all --fast --json     # whole registry, reduced context
+//! tensortee explore train --points 64   # design-space sweep: frontier + tornado
 //! ```
 //!
 //! `--fast` swaps the full paper-fidelity [`RunContext`] for the reduced
 //! one (coarser simulation scale, GPT/GPT2-M model pair, thinned sweeps);
 //! `--json` switches from markdown to the machine-readable report shape
 //! documented in EXPERIMENTS.md. Every run is deterministic: the same
-//! invocation produces byte-identical output.
+//! invocation produces byte-identical output — including `explore`,
+//! whose `--threads` knob changes wall-clock but never a byte of output.
 
 use std::process::ExitCode;
 use tensortee::artifact::{find, registry, Artifact, RunContext};
+use tensortee::explore::{explore_pareto_for, explore_sensitivity_for, Scenario};
 use tensortee::json::Json;
-use tensortee::report::Table;
+use tensortee::report::{Report, Table};
 
 const USAGE: &str = "usage: tensortee <command>
 
 commands:
   list                          list registered artifacts
-  run <id>... [--json] [--fast] [--seed <u64>] run specific artifacts
-  run --all [--json] [--fast] [--seed <u64>]   run the whole registry
+  run <id>... [flags]           run specific artifacts
+  run --all [flags]             run the whole registry
+  explore <train|cluster|serve> [flags]
+                                sweep the scenario's hardware/security design
+                                space: Pareto frontier + tornado sensitivity
 
 flags:
-  --json        emit machine-readable JSON instead of markdown
-  --fast        reduced context: coarser sim scale, fewer models/sweep points
-  --seed <u64>  seed for stochastic artifacts (serving traces); default 42";
+  --json         emit machine-readable JSON instead of markdown
+  --fast         reduced context: coarser sim scale, fewer models/sweep points
+  --seed <u64>   seed for stochastic artifacts and sampling plans (default 42)
+  --threads <N>  explorer worker threads (wall-clock only; output is
+                 byte-identical for any N; default 4)
+  --points <N>   explorer point budget (default 96, 32 under --fast)";
+
+/// The flags shared by `run` and `explore`, plus the positional args.
+struct Args {
+    json: bool,
+    fast: bool,
+    all: bool,
+    seed: Option<u64>,
+    threads: Option<u32>,
+    points: Option<u32>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    /// Parses flags and positionals; `Err` carries the message to print.
+    fn parse(args: &[String]) -> Result<Args, String> {
+        let mut out = Args {
+            json: false,
+            fast: false,
+            all: false,
+            seed: None,
+            threads: None,
+            points: None,
+            positional: Vec::new(),
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--json" => out.json = true,
+                "--fast" => out.fast = true,
+                "--all" => out.all = true,
+                "--seed" => out.seed = Some(parse_value(arg, it.next())?),
+                "--threads" => out.threads = Some(parse_value(arg, it.next())?),
+                "--points" => out.points = Some(parse_value(arg, it.next())?),
+                flag if flag.starts_with('-') => {
+                    return Err(format!("unknown flag {flag:?}"));
+                }
+                positional => out.positional.push(positional.to_string()),
+            }
+        }
+        Ok(out)
+    }
+
+    /// The [`RunContext`] these flags select.
+    fn context(&self) -> RunContext {
+        let mut ctx = if self.fast {
+            RunContext::fast()
+        } else {
+            RunContext::full()
+        };
+        if let Some(seed) = self.seed {
+            ctx = ctx.with_seed(seed);
+        }
+        if let Some(threads) = self.threads {
+            ctx = ctx.with_worker_threads(threads);
+        }
+        if let Some(points) = self.points {
+            ctx = ctx.with_explore_points(points);
+        }
+        ctx
+    }
+}
+
+/// Parses a flag value, reporting the flag name on failure.
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, String> {
+    let value = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    value
+        .parse()
+        .map_err(|_| format!("{flag} got an invalid value {value:?}"))
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +116,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("run") => run(&args[1..]),
+        Some("explore") => explore(&args[1..]),
         Some("--help" | "-h" | "help") => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -45,6 +124,29 @@ fn main() -> ExitCode {
         _ => {
             eprintln!("{USAGE}");
             ExitCode::from(2)
+        }
+    }
+}
+
+/// Prints `message`, the usage, and returns the CLI error code.
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("{message}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Renders `reports` the way both subcommands do: markdown per report, or
+/// one JSON object (single report) / array (several).
+fn emit(reports: &[Report], json: bool) {
+    if json {
+        let out = if reports.len() == 1 {
+            reports[0].to_json()
+        } else {
+            Json::Array(reports.iter().map(|r| r.to_json()).collect())
+        };
+        println!("{out}");
+    } else {
+        for r in reports {
+            println!("{}", r.to_markdown());
         }
     }
 }
@@ -57,56 +159,28 @@ fn list() {
     }
     println!("{}", table.to_markdown());
     println!(
-        "{} artifacts; run one with `tensortee run <id>` (add --json / --fast).",
+        "{} artifacts; run one with `tensortee run <id>` (add --json / --fast), or sweep the \
+         design space with `tensortee explore <train|cluster|serve>`.",
         registry().len()
     );
 }
 
 /// `tensortee run ...`: resolve the artifact selection, run, print.
-fn run(args: &[String]) -> ExitCode {
-    let mut json = false;
-    let mut fast = false;
-    let mut all = false;
-    let mut seed: Option<u64> = None;
-    let mut ids: Vec<&str> = Vec::new();
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--json" => json = true,
-            "--fast" => fast = true,
-            "--all" => all = true,
-            "--seed" => {
-                let Some(value) = it.next() else {
-                    eprintln!("--seed needs a value\n\n{USAGE}");
-                    return ExitCode::from(2);
-                };
-                match value.parse::<u64>() {
-                    Ok(s) => seed = Some(s),
-                    Err(_) => {
-                        eprintln!("--seed takes a u64, got {value:?}\n\n{USAGE}");
-                        return ExitCode::from(2);
-                    }
-                }
-            }
-            flag if flag.starts_with('-') => {
-                eprintln!("unknown flag {flag:?}\n\n{USAGE}");
-                return ExitCode::from(2);
-            }
-            id => ids.push(id),
-        }
-    }
-    let selection: Vec<Artifact> = if all {
-        if !ids.is_empty() {
-            eprintln!("--all and explicit ids are mutually exclusive\n\n{USAGE}");
-            return ExitCode::from(2);
+fn run(raw: &[String]) -> ExitCode {
+    let args = match Args::parse(raw) {
+        Ok(args) => args,
+        Err(e) => return usage_error(&e),
+    };
+    let selection: Vec<Artifact> = if args.all {
+        if !args.positional.is_empty() {
+            return usage_error("--all and explicit ids are mutually exclusive");
         }
         registry().to_vec()
-    } else if ids.is_empty() {
-        eprintln!("run needs artifact ids or --all\n\n{USAGE}");
-        return ExitCode::from(2);
+    } else if args.positional.is_empty() {
+        return usage_error("run needs artifact ids or --all");
     } else {
         let mut picked = Vec::new();
-        for id in ids {
+        for id in &args.positional {
             match find(id) {
                 Some(a) => picked.push(a),
                 None => {
@@ -119,37 +193,49 @@ fn run(args: &[String]) -> ExitCode {
         picked
     };
 
-    let mut ctx = if fast {
-        RunContext::fast()
-    } else {
-        RunContext::full()
-    };
-    if let Some(seed) = seed {
-        ctx = ctx.with_seed(seed);
-    }
-    let reports: Vec<_> = selection
+    let ctx = args.context();
+    let reports: Vec<Report> = selection
         .iter()
         .map(|a| {
-            if !json {
+            if !args.json {
                 eprintln!("running {} ({}) ...", a.id, a.paper_anchor);
             }
             a.run(&ctx)
         })
         .collect();
+    emit(&reports, args.json);
+    ExitCode::SUCCESS
+}
 
-    if json {
-        // One report → a single object; several → an array (the
-        // `run --all --json` shape CI validates).
-        let out = if reports.len() == 1 {
-            reports[0].to_json()
-        } else {
-            Json::Array(reports.iter().map(|r| r.to_json()).collect())
-        };
-        println!("{out}");
-    } else {
-        for r in &reports {
-            println!("{}", r.to_markdown());
-        }
+/// `tensortee explore <scenario> ...`: sweep the scenario's design space
+/// and print the Pareto-frontier and sensitivity reports.
+fn explore(raw: &[String]) -> ExitCode {
+    let args = match Args::parse(raw) {
+        Ok(args) => args,
+        Err(e) => return usage_error(&e),
+    };
+    let [scenario_arg] = args.positional.as_slice() else {
+        return usage_error("explore needs exactly one scenario: train, cluster or serve");
+    };
+    let Some(scenario) = Scenario::parse(scenario_arg) else {
+        return usage_error(&format!(
+            "unknown scenario {scenario_arg:?}; known: train, cluster, serve"
+        ));
+    };
+    let ctx = args.context();
+    if !args.json {
+        eprintln!(
+            "exploring the {} space: {} points, {} worker threads, seed {} ...",
+            scenario.label(),
+            ctx.explore_points,
+            ctx.worker_threads,
+            ctx.seed
+        );
     }
+    let reports = vec![
+        explore_pareto_for(scenario, &ctx).1,
+        explore_sensitivity_for(scenario, &ctx).1,
+    ];
+    emit(&reports, args.json);
     ExitCode::SUCCESS
 }
