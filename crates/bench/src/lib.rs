@@ -10,6 +10,12 @@
 //! figure/table map lives in EXPERIMENTS.md at the repo root; the
 //! `tensortee` CLI (`cargo run --release --bin tensortee -- list`) drives
 //! the same registry without the kernel timing.
+//!
+//! These benches time individual *kernels*; the repo's end-to-end perf
+//! baseline is the `tensortee bench` subcommand
+//! ([`tensortee::perf::BenchTrajectory`]), which times every registry
+//! artifact plus the explore sweeps and writes the CI-ratcheted
+//! `BENCH_<rev>.json` (see EXPERIMENTS.md, "Perf trajectory").
 
 use criterion::Criterion;
 use tensortee::artifact::RunContext;

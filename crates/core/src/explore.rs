@@ -234,6 +234,38 @@ fn cached_cpu_time(cfg: &SystemConfig, mode: SecureMode, model: &ModelConfig) ->
     t
 }
 
+/// The NPU forward+backward report for `sys` on `schedule`, memoized
+/// process-wide. [`TrainingSystem::npu_report`] is a pure function of the
+/// NPU configuration, the MAC scheme, and the schedule's layer list —
+/// none of which the PCIe/fabric knobs touch — so a sweep prices each
+/// distinct `(NPU config, scheme, schedule)` combination once and points
+/// that only move bus knobs reuse it. `schedule_key` must uniquely name
+/// the schedule's contents (the callers use model name + batch or model
+/// name + replica count). [`tee_sim::Time`] is integer picoseconds, so a
+/// reused report is bit-identical to a recomputed one.
+fn cached_npu_report(
+    sys: &TrainingSystem,
+    schedule: &StepSchedule,
+    schedule_key: &str,
+) -> tee_npu::engine::NpuRunReport {
+    static MEMO: OnceLock<Mutex<BTreeMap<String, tee_npu::engine::NpuRunReport>>> = OnceLock::new();
+    let key = format!(
+        "{:?}|{:?}|{}",
+        sys.config().npu,
+        sys.mac_scheme(),
+        schedule_key
+    );
+    let memo = MEMO.get_or_init(|| Mutex::new(BTreeMap::new()));
+    if let Some(&r) = memo.lock().expect("npu memo lock").get(&key) {
+        return r;
+    }
+    // Compute outside the lock so concurrent workers on different keys
+    // do not serialize behind one pipeline simulation.
+    let r = sys.npu_report(schedule);
+    memo.lock().expect("npu memo lock").insert(key, r);
+    r
+}
+
 /// Prices one training point under every context mode.
 fn eval_train(ctx: &RunContext, space: &Space, point: &Point) -> Vec<ModeEval> {
     let mut model = model_at(ctx, space, point);
@@ -251,8 +283,13 @@ fn eval_train(ctx: &RunContext, space: &Space, point: &Point) -> Vec<ModeEval> {
             let sys = TrainingSystem::new(cfg.clone(), mode);
             // Price the NPU phase and the transfers once, then compose
             // the step from them — the same components feed the crypto
-            // objective.
-            let npu = sys.npu_report(&schedule);
+            // objective. The NPU phase is memoized across points: only
+            // the bus re-pricing below is paid per point.
+            let npu = cached_npu_report(
+                &sys,
+                &schedule,
+                &format!("{}|batch{}", model.name, model.batch_size),
+            );
             let comm = sys.comm_costs(&schedule);
             let step = sys.compose_step(npu.total, cpu, &comm);
             let crypto = comm.grad.re_encryption
@@ -302,7 +339,11 @@ fn eval_cluster(ctx: &RunContext, space: &Space, point: &Point) -> Vec<ModeEval>
             // broadcast), compose the step, and feed the same components
             // into the crypto objective.
             let point_sys = TrainingSystem::new(cfg.clone(), mode);
-            let npu = point_sys.npu_report(&replica);
+            let npu = cached_npu_report(
+                &point_sys,
+                &replica,
+                &format!("{}|replica{}", model.name, n_npus),
+            );
             let comm = point_sys.comm_costs(&replica);
             let ar = sys.all_reduce_cost(replica.grad_bytes);
             let bcast = sys.weight_broadcast_cost(replica.weight_bytes);
@@ -398,21 +439,25 @@ fn run_points(
     space: Space,
     points: Vec<Point>,
 ) -> ExploreRun {
-    // Warm the per-(model, mode) CPU cache serially: with cold caches,
+    // Warm the per-(model, mode) CPU cache up front: with cold caches,
     // parallel workers hitting the same pair would each pay the full
-    // cacheline-level simulation.
+    // cacheline-level simulation. The warm itself fans the distinct
+    // pairs across the worker threads (each pair is an independent pure
+    // computation, so the fill order cannot perturb results).
+    let executor = Executor::new(ctx.worker_threads, ctx.seed);
     if matches!(scenario, Scenario::Train | Scenario::Cluster) {
         let mut model_indices: Vec<usize> =
             points.iter().map(|p| space.value(p, 0) as usize).collect();
         model_indices.sort_unstable();
         model_indices.dedup();
-        for mi in model_indices {
-            for &mode in &ctx.modes {
-                cached_cpu_time(&ctx.cfg, mode, &ctx.models[mi]);
-            }
-        }
+        let pairs: Vec<(usize, SecureMode)> = model_indices
+            .into_iter()
+            .flat_map(|mi| ctx.modes.iter().map(move |&mode| (mi, mode)))
+            .collect();
+        executor.run_items(&pairs, &|_i, &(mi, mode), _rng| {
+            cached_cpu_time(&ctx.cfg, mode, &ctx.models[mi]);
+        });
     }
-    let executor = Executor::new(ctx.worker_threads, ctx.seed);
     // The per-point RNG sub-stream is part of the executor contract (it
     // is what makes thread count invisible); today's evaluators are
     // common-random-number designs that draw nothing from it.

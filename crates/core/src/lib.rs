@@ -41,6 +41,7 @@ pub mod experiments;
 pub mod explore;
 pub mod hw;
 pub mod json;
+pub mod perf;
 pub mod report;
 pub mod session;
 pub mod system;

@@ -1,0 +1,342 @@
+//! The perf trajectory — `tensortee bench`.
+//!
+//! Times every registry artifact (warmup + median-of-N wall clock) plus
+//! the per-point cost of the three `explore` scenario sweeps, and renders
+//! the result as the `BENCH_<rev>.json` baseline committed at the repo
+//! root. CI re-measures on every push and *ratchets*: a median more than
+//! the tolerance band above the committed baseline fails the build
+//! (`scripts/bench_ratchet.py`), so a simulator performance regression
+//! can no longer land silently.
+//!
+//! Everything here is wall-clock measurement — the one part of the repo
+//! that is *not* deterministic. The JSON schema therefore separates
+//! structure from timings: ids, counts and configuration are stable
+//! fields, and every timing is a JSON float, so masking the floats must
+//! make two runs byte-identical (the `bench_trajectory` integration
+//! suite pins exactly that).
+
+use crate::artifact::{registry, RunContext};
+use crate::explore::{run_scenario, Scenario};
+use crate::json::Json;
+use crate::report::Table;
+use std::time::Instant;
+
+/// The `schema` tag carried by every `BENCH_<rev>.json`.
+pub const SCHEMA: &str = "tensortee-bench/v1";
+
+/// Measurement options for [`BenchTrajectory::measure`].
+#[derive(Debug, Clone, Copy)]
+pub struct BenchOptions {
+    /// Timed repetitions per artifact/sweep; the reported value is their
+    /// median. Must be at least 1.
+    pub repeats: u32,
+    /// Untimed warmup runs per artifact (cache/allocator warm).
+    pub warmup: u32,
+    /// Emit a progress line per artifact on stderr.
+    pub progress: bool,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            repeats: 3,
+            warmup: 1,
+            progress: false,
+        }
+    }
+}
+
+/// Wall-clock timing of one registry artifact.
+#[derive(Debug, Clone)]
+pub struct ArtifactTiming {
+    /// The artifact id (registry order is preserved).
+    pub id: &'static str,
+    /// Median of the timed repetitions, milliseconds.
+    pub median_ms: f64,
+    /// Fastest repetition, milliseconds.
+    pub min_ms: f64,
+    /// Slowest repetition, milliseconds.
+    pub max_ms: f64,
+}
+
+/// Wall-clock timing of one `explore` scenario sweep.
+#[derive(Debug, Clone)]
+pub struct SweepTiming {
+    /// The scenario label (`train` / `cluster` / `serve`).
+    pub scenario: &'static str,
+    /// Points sampled by the sweep.
+    pub points: usize,
+    /// Point × mode evaluations priced.
+    pub evaluations: usize,
+    /// Median sweep wall time, milliseconds (memos warm — the marginal
+    /// cost of a sweep, not the first-run warm-up).
+    pub median_ms: f64,
+    /// Median per-point cost, microseconds.
+    pub per_point_us: f64,
+}
+
+/// One measured point on the repo's perf trajectory.
+#[derive(Debug, Clone)]
+pub struct BenchTrajectory {
+    /// The git revision measured (short hash, or `unknown` outside git).
+    pub rev: String,
+    /// `fast` or `full` — which [`RunContext`] the artifacts ran under.
+    pub profile: &'static str,
+    /// Timed repetitions per entry.
+    pub repeats: u32,
+    /// Untimed warmup runs per entry.
+    pub warmup: u32,
+    /// The context's explore point budget.
+    pub explore_points: u32,
+    /// The context's explorer worker threads.
+    pub worker_threads: u32,
+    /// The context seed.
+    pub seed: u64,
+    /// Per-artifact timings, in registry order.
+    pub artifacts: Vec<ArtifactTiming>,
+    /// Per-scenario sweep timings, in [`Scenario::all`] order.
+    pub sweeps: Vec<SweepTiming>,
+}
+
+/// Times `repeats` invocations of `f`, returning each wall time in
+/// milliseconds.
+fn time_repeats(repeats: u32, mut f: impl FnMut()) -> Vec<f64> {
+    assert!(repeats > 0, "bench needs at least one timed repetition");
+    (0..repeats)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect()
+}
+
+/// The median of `samples` (mean of the middle two for even counts).
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn median(samples: &[f64]) -> f64 {
+    assert!(!samples.is_empty(), "median of no samples");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// The short hash of the checked-out revision, or `unknown` when git (or
+/// a repository) is unavailable — bench must keep working from a tarball.
+pub fn detect_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+impl BenchTrajectory {
+    /// Measures the full trajectory under `ctx`: every registry artifact,
+    /// then the three scenario sweeps (first warmed, then timed, so the
+    /// sweep numbers report the marginal cost the memos leave behind).
+    pub fn measure(ctx: &RunContext, opts: &BenchOptions) -> BenchTrajectory {
+        assert!(opts.repeats > 0, "bench needs at least one repetition");
+        let artifacts = registry()
+            .iter()
+            .map(|a| {
+                if opts.progress {
+                    eprintln!("bench {} ({}) ...", a.id, a.paper_anchor);
+                }
+                for _ in 0..opts.warmup {
+                    let _ = a.run(ctx);
+                }
+                let samples = time_repeats(opts.repeats, || {
+                    let _ = a.run(ctx);
+                });
+                ArtifactTiming {
+                    id: a.id,
+                    median_ms: median(&samples),
+                    min_ms: samples.iter().copied().fold(f64::INFINITY, f64::min),
+                    max_ms: samples.iter().copied().fold(0.0, f64::max),
+                }
+            })
+            .collect();
+        let sweeps = Scenario::all()
+            .iter()
+            .map(|&scenario| {
+                if opts.progress {
+                    eprintln!("bench sweep {} ...", scenario.label());
+                }
+                // One untimed sweep fills the (model, mode) CPU and NPU
+                // memos; the timed repetitions then measure what every
+                // *subsequent* sweep costs.
+                let warm = run_scenario(scenario, ctx);
+                let points = warm.points.len();
+                let evaluations = warm.evals.iter().map(Vec::len).sum();
+                let samples = time_repeats(opts.repeats, || {
+                    let _ = run_scenario(scenario, ctx);
+                });
+                let median_ms = median(&samples);
+                SweepTiming {
+                    scenario: scenario.label(),
+                    points,
+                    evaluations,
+                    median_ms,
+                    per_point_us: median_ms * 1e3 / points.max(1) as f64,
+                }
+            })
+            .collect();
+        BenchTrajectory {
+            rev: detect_rev(),
+            profile: if ctx.fast { "fast" } else { "full" },
+            repeats: opts.repeats,
+            warmup: opts.warmup,
+            explore_points: ctx.explore_points,
+            worker_threads: ctx.worker_threads,
+            seed: ctx.seed,
+            artifacts,
+            sweeps,
+        }
+    }
+
+    /// The file name the baseline is committed under: `BENCH_<rev>.json`.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.rev)
+    }
+
+    /// The machine-readable shape (the `BENCH_<rev>.json` schema — see
+    /// EXPERIMENTS.md). Timings are the only floats; everything
+    /// structural is a string or integer, so masking `Json::Float`
+    /// values yields a byte-stable structure across runs.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("schema", Json::str(SCHEMA)),
+            ("rev", Json::str(self.rev.clone())),
+            ("profile", Json::str(self.profile)),
+            ("repeats", Json::Int(i64::from(self.repeats))),
+            ("warmup", Json::Int(i64::from(self.warmup))),
+            ("explore_points", Json::Int(i64::from(self.explore_points))),
+            ("worker_threads", Json::Int(i64::from(self.worker_threads))),
+            ("seed", Json::Int(self.seed as i64)),
+            (
+                "artifacts",
+                Json::Array(
+                    self.artifacts
+                        .iter()
+                        .map(|a| {
+                            Json::object([
+                                ("id", Json::str(a.id)),
+                                ("median_ms", Json::Float(a.median_ms)),
+                                ("min_ms", Json::Float(a.min_ms)),
+                                ("max_ms", Json::Float(a.max_ms)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "sweeps",
+                Json::Array(
+                    self.sweeps
+                        .iter()
+                        .map(|s| {
+                            Json::object([
+                                ("scenario", Json::str(s.scenario)),
+                                ("points", Json::Int(s.points as i64)),
+                                ("evaluations", Json::Int(s.evaluations as i64)),
+                                ("median_ms", Json::Float(s.median_ms)),
+                                ("per_point_us", Json::Float(s.per_point_us)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The human-readable rendering `tensortee bench` prints.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!(
+            "# Perf trajectory — rev {} ({} profile, median of {}, warmup {})\n\n",
+            self.rev, self.profile, self.repeats, self.warmup
+        );
+        let mut artifacts = Table::new(["artifact", "median", "min", "max"])
+            .captioned("Registry artifact wall time");
+        for a in &self.artifacts {
+            artifacts.row([
+                a.id.to_string(),
+                format!("{:.1} ms", a.median_ms),
+                format!("{:.1} ms", a.min_ms),
+                format!("{:.1} ms", a.max_ms),
+            ]);
+        }
+        out.push_str(&artifacts.to_markdown());
+        out.push('\n');
+        let mut sweeps = Table::new(["scenario", "points", "evaluations", "median", "per point"])
+            .captioned("Explore sweep cost (memos warm)");
+        for s in &self.sweeps {
+            sweeps.row([
+                s.scenario.to_string(),
+                s.points.to_string(),
+                s.evaluations.to_string(),
+                format!("{:.1} ms", s.median_ms),
+                format!("{:.1} us", s.per_point_us),
+            ]);
+        }
+        out.push_str(&sweeps.to_markdown());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_even_and_single() {
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn median_of_nothing_panics() {
+        median(&[]);
+    }
+
+    #[test]
+    fn rev_is_nonempty_and_filename_embeds_it() {
+        let rev = detect_rev();
+        assert!(!rev.is_empty());
+        let t = BenchTrajectory {
+            rev: "abc123".into(),
+            profile: "fast",
+            repeats: 3,
+            warmup: 1,
+            explore_points: 32,
+            worker_threads: 4,
+            seed: 42,
+            artifacts: vec![],
+            sweeps: vec![],
+        };
+        assert_eq!(t.file_name(), "BENCH_abc123.json");
+        let json = t.to_json().to_string();
+        assert!(crate::json::is_well_formed(&json), "{json}");
+        assert!(json.contains("\"schema\":\"tensortee-bench/v1\""));
+    }
+
+    #[test]
+    fn time_repeats_returns_one_sample_per_repeat() {
+        let samples = time_repeats(4, || std::hint::black_box(()));
+        assert_eq!(samples.len(), 4);
+        assert!(samples.iter().all(|&ms| ms >= 0.0 && ms.is_finite()));
+    }
+}

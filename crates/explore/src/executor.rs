@@ -67,28 +67,46 @@ impl Executor {
         R: Send,
         F: Fn(usize, &Point, SplitMix64) -> R + Sync,
     {
+        self.run_items(points, eval)
+    }
+
+    /// [`Self::run`] over arbitrary items instead of [`Point`]s — the
+    /// same strided static partition and stateless per-index sub-streams,
+    /// so results are in item order and bit-identical for any thread
+    /// count. The core crate uses this to warm its `(model, mode)`
+    /// simulation memos in parallel before a sweep starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (the evaluator's panic is
+    /// propagated).
+    pub fn run_items<T, R, F>(&self, items: &[T], eval: &F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T, SplitMix64) -> R + Sync,
+    {
         let root = SplitMix64::new(self.seed);
-        let workers = (self.threads as usize).min(points.len()).max(1);
+        let workers = (self.threads as usize).min(items.len()).max(1);
         if workers == 1 {
-            return points
+            return items
                 .iter()
                 .enumerate()
                 .map(|(i, p)| eval(i, p, root.split(i as u64)))
                 .collect();
         }
-        let mut slots: Vec<Option<R>> =
-            std::iter::repeat_with(|| None).take(points.len()).collect();
+        let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
         std::thread::scope(|scope| {
             let root = &root;
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     scope.spawn(move || {
-                        // Strided partition: worker w takes points w,
+                        // Strided partition: worker w takes items w,
                         // w+T, w+2T, … — static, so no scheduling state
                         // can leak into results.
-                        (w..points.len())
+                        (w..items.len())
                             .step_by(workers)
-                            .map(|i| (i, eval(i, &points[i], root.split(i as u64))))
+                            .map(|i| (i, eval(i, &items[i], root.split(i as u64))))
                             .collect::<Vec<_>>()
                     })
                 })
@@ -101,7 +119,7 @@ impl Executor {
         });
         slots
             .into_iter()
-            .map(|s| s.expect("every point evaluated exactly once"))
+            .map(|s| s.expect("every item evaluated exactly once"))
             .collect()
     }
 }
@@ -165,6 +183,27 @@ mod tests {
         uniq.sort_unstable();
         uniq.dedup();
         assert_eq!(uniq.len(), a.len(), "per-point streams are distinct");
+    }
+
+    #[test]
+    fn run_items_generalizes_run_and_keeps_thread_invariance() {
+        // Arbitrary items (here: strings) get the same stateless
+        // per-index sub-streams and in-order results as points do.
+        let items: Vec<String> = (0..23).map(|i| format!("item-{i}")).collect();
+        let eval = |i: usize, it: &String, mut rng: SplitMix64| {
+            format!("{i}:{it}:{}", rng.next_below(1000))
+        };
+        let one = Executor::new(1, 42).run_items(&items, &eval);
+        for threads in [2, 4, 16] {
+            assert_eq!(
+                one,
+                Executor::new(threads, 42).run_items(&items, &eval),
+                "{threads} threads"
+            );
+        }
+        for (i, out) in one.iter().enumerate() {
+            assert!(out.starts_with(&format!("{i}:item-{i}:")), "{out}");
+        }
     }
 
     #[test]

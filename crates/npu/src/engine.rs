@@ -137,12 +137,27 @@ impl NpuEngine {
     }
 
     /// Runs a layer sequence to completion.
+    ///
+    /// Transformer steps repeat the same dozen-layer block once per model
+    /// layer, so identical [`Layer`] shapes are priced once and reused:
+    /// [`Time`] is integer picoseconds and the accumulation loop is
+    /// unchanged, so the deduplicated run is bit-identical to pricing
+    /// every layer from scratch — just ~`L`× cheaper on an `L`-block
+    /// model.
     pub fn run(&self, layers: &[Layer]) -> NpuRunReport {
+        let mut priced: Vec<(Layer, (StreamTiming, Time))> = Vec::new();
         let mut total = Time::ZERO;
         let mut stall = Time::ZERO;
         let mut bytes = 0u64;
         for layer in layers {
-            let (stream, layer_time) = self.run_layer(layer);
+            let (stream, layer_time) = match priced.iter().find(|(l, _)| l == layer) {
+                Some((_, cached)) => *cached,
+                None => {
+                    let fresh = self.run_layer(layer);
+                    priced.push((*layer, fresh));
+                    fresh
+                }
+            };
             total += layer_time;
             stall += stream.verify_stall;
             bytes += layer.stream_bytes() + layer.out_bytes;
@@ -235,6 +250,32 @@ mod tests {
         let cfg = NpuConfig::default();
         let s = NpuEngine::new(cfg, MacScheme::None).slowdown(&layer_mix());
         assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dedup_is_bit_identical_to_per_layer_pricing() {
+        // `run` prices each distinct shape once; a sequence's report must
+        // still equal the layer-by-layer composition (per-layer runs hit
+        // no cache), including across repeated shapes — the property the
+        // explore sweeps rely on for byte-identical output.
+        for scheme in figure20_sweep() {
+            let engine = NpuEngine::new(NpuConfig::default(), scheme);
+            let mut layers = layer_mix();
+            layers.extend(layer_mix()); // repeats of every shape
+            let whole = engine.run(&layers);
+            let mut total = Time::ZERO;
+            let mut stall = Time::ZERO;
+            let mut bytes = 0u64;
+            for l in &layers {
+                let one = engine.run(std::slice::from_ref(l));
+                total += one.total;
+                stall += one.verify_stall;
+                bytes += one.data_bytes;
+            }
+            assert_eq!(whole.total, total, "{}", scheme.label());
+            assert_eq!(whole.verify_stall, stall, "{}", scheme.label());
+            assert_eq!(whole.data_bytes, bytes, "{}", scheme.label());
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@ use std::process::ExitCode;
 use tensortee::artifact::{find, registry, Artifact, RunContext};
 use tensortee::explore::{explore_pareto_for, explore_sensitivity_for, Scenario};
 use tensortee::json::Json;
+use tensortee::perf::{BenchOptions, BenchTrajectory};
 use tensortee::report::{Report, Table};
 
 const USAGE: &str = "usage: tensortee <command>
@@ -30,6 +31,9 @@ commands:
   explore <train|cluster|serve> [flags]
                                 sweep the scenario's hardware/security design
                                 space: Pareto frontier + tornado sensitivity
+  bench [flags]                 time every artifact + the explore sweeps;
+                                writes BENCH_<rev>.json (or, with --json,
+                                prints the same shape to stdout)
 
 flags:
   --json         emit machine-readable JSON instead of markdown
@@ -37,9 +41,12 @@ flags:
   --seed <u64>   seed for stochastic artifacts and sampling plans (default 42)
   --threads <N>  explorer worker threads (wall-clock only; output is
                  byte-identical for any N; default 4)
-  --points <N>   explorer point budget (default 96, 32 under --fast)";
+  --points <N>   explorer point budget (default 96, 32 under --fast)
+  --repeats <N>  bench: timed repetitions per entry, reported as the
+                 median (default 3)";
 
-/// The flags shared by `run` and `explore`, plus the positional args.
+/// The flags shared by `run`, `explore` and `bench`, plus the positional
+/// args.
 struct Args {
     json: bool,
     fast: bool,
@@ -47,6 +54,7 @@ struct Args {
     seed: Option<u64>,
     threads: Option<u32>,
     points: Option<u32>,
+    repeats: Option<u32>,
     positional: Vec<String>,
 }
 
@@ -60,6 +68,7 @@ impl Args {
             seed: None,
             threads: None,
             points: None,
+            repeats: None,
             positional: Vec::new(),
         };
         let mut it = args.iter();
@@ -71,10 +80,23 @@ impl Args {
                 "--seed" => out.seed = Some(parse_value(arg, it.next())?),
                 "--threads" => out.threads = Some(parse_value(arg, it.next())?),
                 "--points" => out.points = Some(parse_value(arg, it.next())?),
+                "--repeats" => out.repeats = Some(parse_value(arg, it.next())?),
                 flag if flag.starts_with('-') => {
                     return Err(format!("unknown flag {flag:?}"));
                 }
                 positional => out.positional.push(positional.to_string()),
+            }
+        }
+        // Zero is never a meaningful count for these: an empty sweep, a
+        // zero-thread scope, or a median over no repetitions. Reject at
+        // parse time instead of silently clamping (or dividing by zero).
+        for (flag, value) in [
+            ("--threads", out.threads),
+            ("--points", out.points),
+            ("--repeats", out.repeats),
+        ] {
+            if value == Some(0) {
+                return Err(format!("{flag} must be at least 1"));
             }
         }
         Ok(out)
@@ -117,6 +139,7 @@ fn main() -> ExitCode {
         }
         Some("run") => run(&args[1..]),
         Some("explore") => explore(&args[1..]),
+        Some("bench") => bench(&args[1..]),
         Some("--help" | "-h" | "help") => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -166,11 +189,17 @@ fn list() {
 }
 
 /// `tensortee run ...`: resolve the artifact selection, run, print.
+///
+/// Unknown ids are diagnosed on stderr but do not abort the rest of the
+/// selection: the known artifacts still run and emit (well-formed JSON
+/// under `--json`), and the process exits 1 so scripts notice the
+/// partial failure. An entirely-unknown selection runs nothing.
 fn run(raw: &[String]) -> ExitCode {
     let args = match Args::parse(raw) {
         Ok(args) => args,
         Err(e) => return usage_error(&e),
     };
+    let mut unknown: Vec<&String> = Vec::new();
     let selection: Vec<Artifact> = if args.all {
         if !args.positional.is_empty() {
             return usage_error("--all and explicit ids are mutually exclusive");
@@ -183,28 +212,73 @@ fn run(raw: &[String]) -> ExitCode {
         for id in &args.positional {
             match find(id) {
                 Some(a) => picked.push(a),
-                None => {
-                    let known: Vec<&str> = registry().iter().map(|a| a.id).collect();
-                    eprintln!("unknown artifact {id:?}; known ids: {}", known.join(", "));
-                    return ExitCode::from(2);
-                }
+                None => unknown.push(id),
+            }
+        }
+        if !unknown.is_empty() {
+            let known: Vec<&str> = registry().iter().map(|a| a.id).collect();
+            for id in &unknown {
+                eprintln!("unknown artifact {id:?}; known ids: {}", known.join(", "));
             }
         }
         picked
     };
 
     let ctx = args.context();
-    let reports: Vec<Report> = selection
-        .iter()
-        .map(|a| {
-            if !args.json {
-                eprintln!("running {} ({}) ...", a.id, a.paper_anchor);
-            }
-            a.run(&ctx)
-        })
-        .collect();
-    emit(&reports, args.json);
-    ExitCode::SUCCESS
+    if !selection.is_empty() {
+        let reports: Vec<Report> = selection
+            .iter()
+            .map(|a| {
+                if !args.json {
+                    eprintln!("running {} ({}) ...", a.id, a.paper_anchor);
+                }
+                a.run(&ctx)
+            })
+            .collect();
+        emit(&reports, args.json);
+    }
+    if unknown.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `tensortee bench ...`: measure the perf trajectory. Without `--json`
+/// the markdown tables go to stdout and the JSON shape is written to
+/// `BENCH_<rev>.json`; with `--json` the shape goes to stdout instead
+/// (what the CI ratchet consumes) and no file is written.
+fn bench(raw: &[String]) -> ExitCode {
+    let args = match Args::parse(raw) {
+        Ok(args) => args,
+        Err(e) => return usage_error(&e),
+    };
+    if !args.positional.is_empty() {
+        return usage_error("bench takes flags only");
+    }
+    let ctx = args.context();
+    let opts = BenchOptions {
+        repeats: args.repeats.unwrap_or(3),
+        warmup: 1,
+        progress: true,
+    };
+    let trajectory = BenchTrajectory::measure(&ctx, &opts);
+    if args.json {
+        println!("{}", trajectory.to_json());
+        return ExitCode::SUCCESS;
+    }
+    println!("{}", trajectory.to_markdown());
+    let path = trajectory.file_name();
+    match std::fs::write(&path, format!("{}\n", trajectory.to_json())) {
+        Ok(()) => {
+            eprintln!("wrote {path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// `tensortee explore <scenario> ...`: sweep the scenario's design space

@@ -1,0 +1,88 @@
+//! CLI contract tests for the `tensortee` binary: exit codes and output
+//! shape for the `run` partial-failure paths and flag validation.
+//!
+//! Exit-code convention: 0 = success, 1 = partial failure (some requested
+//! artifact did not run), 2 = usage error (bad flags/arguments).
+
+use std::process::{Command, Output};
+
+fn tensortee(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tensortee"))
+        .args(args)
+        .output()
+        .expect("spawn tensortee")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("no exit code (signal?)")
+}
+
+#[test]
+fn unknown_id_mid_list_runs_known_and_exits_one() {
+    // The known artifact still runs, its JSON is well-formed, and the
+    // process signals the partial failure with exit 1 (not the usage
+    // error 2 — the command line itself was fine).
+    let out = tensortee(&["run", "tab2", "bogus", "--fast", "--json"]);
+    assert_eq!(code(&out), 1, "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        tensortee::json::is_well_formed(stdout.trim()),
+        "stdout not well-formed JSON: {stdout}"
+    );
+    assert!(stdout.contains("\"id\":\"tab2\""), "{stdout}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown artifact \"bogus\""), "{stderr}");
+    assert!(stderr.contains("known ids:"), "{stderr}");
+}
+
+#[test]
+fn entirely_unknown_selection_runs_nothing_and_exits_one() {
+    let out = tensortee(&["run", "nope1", "nope2", "--json"]);
+    assert_eq!(code(&out), 1, "{out:?}");
+    assert!(out.stdout.is_empty(), "ran something for unknown ids");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert_eq!(stderr.matches("unknown artifact").count(), 2, "{stderr}");
+}
+
+#[test]
+fn known_selection_exits_zero_with_a_json_array() {
+    let out = tensortee(&["run", "tab2", "sec65", "--fast", "--json"]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let trimmed = stdout.trim();
+    assert!(
+        trimmed.starts_with('[') && trimmed.ends_with(']'),
+        "{stdout}"
+    );
+    assert!(tensortee::json::is_well_formed(trimmed), "{stdout}");
+}
+
+#[test]
+fn zero_flag_values_are_usage_errors() {
+    for args in [
+        &["run", "--all", "--points", "0"][..],
+        &["explore", "train", "--threads", "0"][..],
+        &["bench", "--repeats", "0"][..],
+        &["explore", "train", "--points", "0"][..],
+    ] {
+        let out = tensortee(args);
+        assert_eq!(code(&out), 2, "{args:?} -> {out:?}");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains("must be at least 1"), "{args:?}: {stderr}");
+        assert!(out.stdout.is_empty(), "{args:?} produced output");
+    }
+}
+
+#[test]
+fn bench_rejects_positional_arguments() {
+    let out = tensortee(&["bench", "fig03"]);
+    assert_eq!(code(&out), 2, "{out:?}");
+}
+
+#[test]
+fn missing_command_is_a_usage_error() {
+    let out = tensortee(&[]);
+    assert_eq!(code(&out), 2, "{out:?}");
+    let out = tensortee(&["frobnicate"]);
+    assert_eq!(code(&out), 2, "{out:?}");
+}
