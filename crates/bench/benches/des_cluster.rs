@@ -1,0 +1,64 @@
+//! Discrete-event cluster engine — analytic parity plus the two
+//! DES-only scenarios (extension beyond the paper's analytic model; see
+//! EXPERIMENTS.md).
+//!
+//! Prints the `des_parity` differential table (every breakdown must
+//! match the analytic oracle bit-for-bit), the straggler sweep (a slow
+//! rank widens TensorTEE's lead: direct overlap hides more of the
+//! collective while staging's serialized hops stay exposed), and the
+//! pipeline sweep (boundary activations contending on the shared
+//! fabric). The micro-benchmarks time one DES step against the analytic
+//! fold to show the event replay's overhead stays in the noise of a
+//! design-space sweep.
+
+use criterion::black_box;
+use tee_bench::{criterion_quick, run_in_context};
+use tee_sim::Time;
+use tee_workloads::zoo::TABLE2;
+use tee_workloads::StepSchedule;
+use tensortee::{
+    ClusterConfig, ClusterSystem, DesClusterConfig, DesClusterSystem, RunContext, SecureMode,
+    SystemConfig,
+};
+
+fn main() {
+    let ctx = RunContext::full();
+    run_in_context("des_parity", &ctx);
+    run_in_context("des_straggler", &ctx);
+    run_in_context("des_pipeline", &ctx);
+
+    let schedule = StepSchedule::of(&TABLE2[1]);
+    let cpu = Time::from_ms(25);
+    let mut c = criterion_quick();
+    c.bench_function("des/analytic_step_8", |b| {
+        b.iter(|| {
+            let mut sys = ClusterSystem::new(
+                SystemConfig::fast_sim(),
+                ClusterConfig::of(8),
+                SecureMode::TensorTee,
+            );
+            black_box(sys.simulate_with_cpu_time(&schedule, cpu).total())
+        })
+    });
+    c.bench_function("des/event_step_8", |b| {
+        b.iter(|| {
+            let mut sys = DesClusterSystem::new(
+                SystemConfig::fast_sim(),
+                DesClusterConfig::lockstep(ClusterConfig::of(8)),
+                SecureMode::TensorTee,
+            );
+            black_box(sys.simulate_with_cpu_time(&schedule, cpu).makespan)
+        })
+    });
+    c.bench_function("des/pipeline_step_8x16", |b| {
+        b.iter(|| {
+            let mut sys = DesClusterSystem::new(
+                SystemConfig::fast_sim(),
+                DesClusterConfig::lockstep(ClusterConfig::of(8)).with_pipeline(16),
+                SecureMode::TensorTee,
+            );
+            black_box(sys.simulate_with_cpu_time(&schedule, cpu).makespan)
+        })
+    });
+    c.final_summary();
+}

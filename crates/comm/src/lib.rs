@@ -15,16 +15,22 @@
 //! * [`schedule`] — the compute/transfer overlap scheduler behind
 //!   Figures 7 and 15,
 //! * [`ring`] — the secure ring all-reduce that extends the protocol
-//!   split to N-way data-parallel gradient aggregation across NPU TEEs.
+//!   split to N-way data-parallel gradient aggregation across NPU TEEs,
+//! * [`des`] — the shared-fabric contention resource
+//!   ([`des::FabricLink`]) the discrete-event cluster engine uses to
+//!   arbitrate overlapping ring hops, broadcasts and boundary
+//!   activations.
 
 pub mod channel;
+pub mod des;
 pub mod link;
 pub mod protocol;
 pub mod ring;
 pub mod schedule;
 
 pub use channel::{ChannelError, DirectChannel, TransferMeta, TrustedChannel};
+pub use des::{FabricGrant, FabricLink};
 pub use link::{AesEngine, PcieLink};
 pub use protocol::{DirectProtocol, StagingProtocol, TransferBreakdown};
-pub use ring::{AllReduceBreakdown, Interconnect, RingAllReduce};
+pub use ring::{AllReduceBreakdown, HopCost, Interconnect, RingAllReduce};
 pub use schedule::{exposed_time, overlapped_time, serialized_time, Timeline};

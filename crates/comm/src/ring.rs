@@ -86,6 +86,31 @@ impl Default for Interconnect {
     }
 }
 
+/// Cost of one synchronized ring step (one chunk hop) under a protocol.
+///
+/// The hop sequence is the contract between the analytic collective
+/// ([`RingAllReduce::staged`] etc., which fold the hops serially) and the
+/// discrete-event cluster engine (which replays the same hops as explicit
+/// re-encrypt / bus / decrypt events on a shared fabric) — both consume
+/// identical per-hop numbers, which is what makes DES-lockstep reproduce
+/// the analytic breakdown bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct HopCost {
+    /// Staging conversion on the send side (zero for direct/plain).
+    pub re_encryption: Time,
+    /// Interconnect bus time of the chunk DMA.
+    pub comm: Time,
+    /// Staging conversion on the receive side (zero for direct/plain).
+    pub decryption: Time,
+}
+
+impl HopCost {
+    /// Serialized duration of the hop.
+    pub fn total(&self) -> Time {
+        self.re_encryption + self.comm + self.decryption
+    }
+}
+
 /// Per-phase cost of one ring all-reduce, per rank (all ranks operate in
 /// lockstep, so this is also the wall-clock cost of the collective).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -121,6 +146,23 @@ impl AllReduceBreakdown {
     /// `2·(n−1)/n · bytes` up to chunk rounding.
     pub fn wire_bytes(&self) -> u64 {
         self.steps as u64 * self.chunk_bytes
+    }
+
+    /// Accumulates a hop sequence into the per-phase breakdown (the
+    /// serial fold both the analytic path and the DES use — per-field
+    /// sums in hop order, so the result is bit-identical between them).
+    pub fn from_hops(steps: u32, chunk_bytes: u64, hops: &[HopCost]) -> AllReduceBreakdown {
+        let mut acc = AllReduceBreakdown {
+            steps,
+            chunk_bytes,
+            ..AllReduceBreakdown::NOOP
+        };
+        for hop in hops {
+            acc.re_encryption += hop.re_encryption;
+            acc.comm += hop.comm;
+            acc.decryption += hop.decryption;
+        }
+        acc
     }
 }
 
@@ -246,32 +288,72 @@ impl RingAllReduce {
         self.pipelined_broadcast(bytes, |b| proto.transfer(Time::ZERO, b))
     }
 
+    /// Per-hop costs of a plain `bytes`-byte all-reduce (empty for a
+    /// single rank — the collective is a no-op).
+    pub fn hops_plain(&self, bytes: u64) -> Vec<HopCost> {
+        let mut link = self.interconnect.link();
+        self.hop_costs(bytes, move |at, chunk| {
+            let done = link.transfer(at, chunk);
+            (Time::ZERO, done - at, Time::ZERO)
+        })
+    }
+
+    /// Per-hop costs of a staged all-reduce: every hop carries its §3.3
+    /// conversion explicitly (what the DES turns into re-encrypt events).
+    pub fn hops_staged(&self, bytes: u64) -> Vec<HopCost> {
+        let mut proto = StagingProtocol::on_link(self.interconnect.link());
+        self.hop_costs(bytes, move |at, chunk| {
+            let b = proto.transfer(at, chunk);
+            (b.re_encryption, b.comm, b.decryption)
+        })
+    }
+
+    /// Per-hop costs of a direct (TensorTEE) all-reduce.
+    pub fn hops_direct(&self, bytes: u64) -> Vec<HopCost> {
+        let mut proto = DirectProtocol::on_link(self.interconnect.link());
+        self.hop_costs(bytes, move |at, chunk| {
+            let b = proto.transfer(at, chunk);
+            (b.re_encryption, b.comm, b.decryption)
+        })
+    }
+
     /// Drives the per-step hop model: ring steps are barriers (the chunk a
     /// rank forwards in step `s+1` is the one it received and reduced in
-    /// step `s`), so step costs accumulate serially.
-    fn run(
+    /// step `s`), so step costs accumulate serially along the fold.
+    fn hop_costs(
         &self,
         bytes: u64,
         mut hop: impl FnMut(Time, u64) -> (Time, Time, Time),
+    ) -> Vec<HopCost> {
+        if self.n_ranks == 1 {
+            return Vec::new();
+        }
+        let chunk = self.chunk_bytes(bytes);
+        let mut hops = Vec::with_capacity(self.steps() as usize);
+        let mut at = Time::ZERO;
+        for _ in 0..self.steps() {
+            let (re, comm, de) = hop(at, chunk);
+            hops.push(HopCost {
+                re_encryption: re,
+                comm,
+                decryption: de,
+            });
+            at = at + re + comm + de;
+        }
+        hops
+    }
+
+    /// Folds the hop sequence into the collective's breakdown.
+    fn run(
+        &self,
+        bytes: u64,
+        hop: impl FnMut(Time, u64) -> (Time, Time, Time),
     ) -> AllReduceBreakdown {
         if self.n_ranks == 1 {
             return AllReduceBreakdown::NOOP;
         }
-        let chunk = self.chunk_bytes(bytes);
-        let mut acc = AllReduceBreakdown {
-            steps: self.steps(),
-            chunk_bytes: chunk,
-            ..AllReduceBreakdown::NOOP
-        };
-        let mut at = Time::ZERO;
-        for _ in 0..self.steps() {
-            let (re, comm, de) = hop(at, chunk);
-            acc.re_encryption += re;
-            acc.comm += comm;
-            acc.decryption += de;
-            at = at + re + comm + de;
-        }
-        acc
+        let hops = self.hop_costs(bytes, hop);
+        AllReduceBreakdown::from_hops(self.steps(), self.chunk_bytes(bytes), &hops)
     }
 }
 
@@ -358,6 +440,29 @@ mod tests {
         assert!(direct.total() >= plain.total());
         let single = RingAllReduce::new(1, Interconnect::PcieP2p);
         assert_eq!(single.broadcast_staged(64 * MB).total(), Time::ZERO);
+    }
+
+    #[test]
+    fn hop_sequences_fold_back_to_the_breakdown() {
+        for n in [2u32, 4, 8] {
+            let ring = RingAllReduce::new(n, Interconnect::PcieP2p);
+            let bytes = 96 * MB;
+            for (hops, breakdown) in [
+                (ring.hops_plain(bytes), ring.plain(bytes)),
+                (ring.hops_staged(bytes), ring.staged(bytes)),
+                (ring.hops_direct(bytes), ring.direct(bytes)),
+            ] {
+                assert_eq!(hops.len() as u32, ring.steps());
+                assert_eq!(
+                    AllReduceBreakdown::from_hops(ring.steps(), ring.chunk_bytes(bytes), &hops),
+                    breakdown
+                );
+                let serial: Time = hops.iter().map(HopCost::total).sum();
+                assert_eq!(serial, breakdown.total());
+            }
+        }
+        let single = RingAllReduce::new(1, Interconnect::PcieP2p);
+        assert!(single.hops_staged(64 * MB).is_empty());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! artifact index lives in EXPERIMENTS.md.
 
 use crate::artifact::RunContext;
+use crate::des_cluster::{DesClusterConfig, DesClusterSystem, DesStepReport};
 use crate::hw::HardwareBudget;
 use crate::report::{f2, pct, Report, Table};
 use crate::system::{ClusterStepBreakdown, ClusterSystem, StepBreakdown, TrainingSystem};
@@ -835,6 +836,261 @@ pub fn scaling_strong(ctx: &RunContext) -> (Vec<ScalingRow>, Report) {
     }
     let mut report = report_for("scaling_strong");
     report.table(table);
+    (rows, report)
+}
+
+// ---------------------------------------------------------------------
+// Discrete-event cluster engine — analytic parity, stragglers and
+// pipeline parallelism (des_parity / des_straggler / des_pipeline).
+// ---------------------------------------------------------------------
+
+/// One parity sample: the analytic and discrete-event step of the same
+/// configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DesParityRow {
+    /// Data-parallel NPU replicas.
+    pub n_npus: u32,
+    /// Security mode.
+    pub mode: crate::SecureMode,
+    /// The analytic [`ClusterSystem`] breakdown (the oracle).
+    pub analytic: ClusterStepBreakdown,
+    /// The DES run replaying the same step as events.
+    pub des: DesStepReport,
+}
+
+impl DesParityRow {
+    /// Absolute step-total divergence in picoseconds (zero when the DES
+    /// reproduces the oracle bit-for-bit).
+    pub fn divergence_ps(&self) -> u64 {
+        let a = self.analytic.total().as_ps();
+        let d = self.des.breakdown.total().as_ps();
+        a.abs_diff(d)
+    }
+}
+
+/// Runs the differential sweep: every `(cluster size, mode)` pair priced
+/// once through the analytic composition and once through the
+/// discrete-event engine in lockstep data-parallel mode, sharing one
+/// cached CPU phase so both paths consume identical inputs.
+///
+/// The engine's contract is that every row matches **bit-for-bit** — the
+/// `max_divergence_ps` metric is 0 and the `match` column all-yes; any
+/// other output is a bug in the DES, not model noise (the differential
+/// suite in `tests/des_cluster.rs` enforces the same equality over a
+/// wider grid).
+pub fn des_parity(ctx: &RunContext) -> (Vec<DesParityRow>, Report) {
+    let model = ctx.primary_model();
+    let schedule = StepSchedule::of(&model);
+    let mut rows = Vec::new();
+    let mut table = Table::new([
+        "NPUs",
+        "mode",
+        "analytic",
+        "DES",
+        "match",
+        "events",
+        "contention",
+    ]);
+    for &mode in &ctx.modes {
+        for &n in &ctx.cluster_sizes {
+            // One CPU phase per (mode, N): the optimizer runs on the
+            // reduced gradients, identical in both paths.
+            let replica = schedule.data_parallel_replica(n);
+            let cpu = TrainingSystem::new(ctx.cfg.clone(), mode).cpu_time(&replica);
+            let analytic = ClusterSystem::new(ctx.cfg.clone(), ctx.cluster_of(n), mode)
+                .simulate_with_cpu_time(&schedule, cpu);
+            let des = DesClusterSystem::new(
+                ctx.cfg.clone(),
+                DesClusterConfig::lockstep(ctx.cluster_of(n)),
+                mode,
+            )
+            .simulate_with_cpu_time(&schedule, cpu);
+            let row = DesParityRow {
+                n_npus: n,
+                mode,
+                analytic,
+                des,
+            };
+            table.row([
+                n.to_string(),
+                mode.label().to_string(),
+                analytic.total().to_string(),
+                des.breakdown.total().to_string(),
+                if des.breakdown == analytic {
+                    "yes"
+                } else {
+                    "NO"
+                }
+                .to_string(),
+                des.events.to_string(),
+                des.fabric_contention.to_string(),
+            ]);
+            rows.push(row);
+        }
+    }
+    let max_div = rows
+        .iter()
+        .map(DesParityRow::divergence_ps)
+        .max()
+        .unwrap_or(0);
+    let mut report = report_for("des_parity");
+    report.metric("max_divergence_ps", max_div as f64);
+    report.metric(
+        "exact_rows",
+        rows.iter()
+            .filter(|r| r.des.breakdown == r.analytic)
+            .count() as f64,
+    );
+    report.table(table);
+    report.note(
+        "lockstep data-parallel DES replays the analytic composition event-by-event; \
+         every breakdown field must match bit-for-bit",
+    );
+    (rows, report)
+}
+
+/// One straggler sample: the cluster with its last rank slowed.
+#[derive(Debug, Clone, Copy)]
+pub struct DesStragglerRow {
+    /// Security mode.
+    pub mode: crate::SecureMode,
+    /// Slowdown of the last rank (1.0 = homogeneous).
+    pub factor: f64,
+    /// The DES step under that skew.
+    pub des: DesStepReport,
+}
+
+/// Runs the heterogeneous-cluster sweep: the largest configured cluster
+/// with its last rank slowed by each factor in `ctx.straggler_factors`,
+/// under each mode.
+///
+/// The shape to look for: a straggler stretches the backward window of
+/// the slow rank, so the *direct* protocol hides more of the collective
+/// behind it (exposed `comm_ar` shrinks as the factor grows) while the
+/// staging protocol's serialized hops stay fully exposed — heterogeneity
+/// widens TensorTEE's lead rather than eroding it.
+pub fn des_straggler(ctx: &RunContext) -> (Vec<DesStragglerRow>, Report) {
+    let model = ctx.primary_model();
+    let schedule = StepSchedule::of(&model);
+    let n = ctx.cluster_sizes.iter().copied().max().unwrap_or(4).max(2);
+    let mut rows = Vec::new();
+    let mut table = Table::new([
+        "mode",
+        "straggler",
+        "step",
+        "NPU",
+        "exposed AR",
+        "exposed comm",
+    ]);
+    for &mode in &ctx.modes {
+        let replica = schedule.data_parallel_replica(n);
+        let cpu = TrainingSystem::new(ctx.cfg.clone(), mode).cpu_time(&replica);
+        for &factor in &ctx.straggler_factors {
+            let des = DesClusterSystem::new(
+                ctx.cfg.clone(),
+                DesClusterConfig::lockstep(ctx.cluster_of(n)).with_straggler(factor),
+                mode,
+            )
+            .simulate_with_cpu_time(&schedule, cpu);
+            table.row([
+                mode.label().to_string(),
+                format!("{factor:.2}x"),
+                des.breakdown.total().to_string(),
+                des.breakdown.npu.to_string(),
+                des.breakdown.comm_ar.to_string(),
+                pct(des.breakdown.exposed_comm_fraction()),
+            ]);
+            rows.push(DesStragglerRow { mode, factor, des });
+        }
+    }
+    let mut report = report_for("des_straggler");
+    report.metric("n_npus", n as f64);
+    report.table(table);
+    report.note(format!(
+        "last rank of {n} slowed by each factor; only the DES engine can price this skew"
+    ));
+    (rows, report)
+}
+
+/// One pipeline sample: N stages, M microbatches, one mode.
+#[derive(Debug, Clone, Copy)]
+pub struct DesPipelineRow {
+    /// Security mode.
+    pub mode: crate::SecureMode,
+    /// Microbatches in flight.
+    pub microbatches: u32,
+    /// Pipeline stages (= NPUs).
+    pub stages: u32,
+    /// The DES step.
+    pub des: DesStepReport,
+}
+
+impl DesPipelineRow {
+    /// The ideal GPipe bubble fraction `(S−1)/(M+S−1)` for this shape.
+    pub fn ideal_bubble_fraction(&self) -> f64 {
+        let s = self.stages as f64;
+        let m = self.microbatches as f64;
+        (s - 1.0) / (m + s - 1.0)
+    }
+}
+
+/// Runs the pipeline-parallel sweep: the model split into N contiguous
+/// stages with each microbatch's boundary activations crossing the
+/// shared NPU fabric, under each mode and microbatch count.
+///
+/// The shapes to look for: more microbatches shrink the fill/drain
+/// bubble toward the `(S−1)/(M+S−1)` ideal, and overlapping boundary
+/// hops *contend* on the fabric — the staging protocol additionally pays
+/// a per-hop conversion on every boundary (the `crypto` column), which
+/// the direct protocol eliminates.
+pub fn des_pipeline(ctx: &RunContext) -> (Vec<DesPipelineRow>, Report) {
+    let model = ctx.primary_model();
+    let schedule = StepSchedule::of(&model);
+    let n = ctx.cluster_sizes.iter().copied().max().unwrap_or(4).max(2);
+    let mut rows = Vec::new();
+    let mut table = Table::new([
+        "mode",
+        "microbatches",
+        "step",
+        "compute front",
+        "ideal bubble",
+        "contention",
+        "crypto",
+    ]);
+    for &mode in &ctx.modes {
+        let cpu = TrainingSystem::new(ctx.cfg.clone(), mode).cpu_time(&schedule);
+        for &m in &ctx.pipeline_microbatches {
+            let des = DesClusterSystem::new(
+                ctx.cfg.clone(),
+                DesClusterConfig::lockstep(ctx.cluster_of(n)).with_pipeline(m),
+                mode,
+            )
+            .simulate_with_cpu_time(&schedule, cpu);
+            let row = DesPipelineRow {
+                mode,
+                microbatches: m,
+                stages: n,
+                des,
+            };
+            table.row([
+                mode.label().to_string(),
+                m.to_string(),
+                des.breakdown.total().to_string(),
+                des.breakdown.npu.to_string(),
+                pct(row.ideal_bubble_fraction()),
+                des.fabric_contention.to_string(),
+                des.crypto.to_string(),
+            ]);
+            rows.push(row);
+        }
+    }
+    let mut report = report_for("des_pipeline");
+    report.metric("stages", n as f64);
+    report.table(table);
+    report.note(
+        "boundary activations of in-flight microbatches share one fabric; \
+         contention and per-boundary crypto are DES-only observables",
+    );
     (rows, report)
 }
 

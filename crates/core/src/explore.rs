@@ -32,6 +32,7 @@
 
 use crate::artifact::RunContext;
 use crate::config::{ClusterConfig, SecureMode, SystemConfig};
+use crate::des_cluster::{DesClusterConfig, DesClusterSystem, Parallelism};
 use crate::experiments::{mode_key, serve_profile};
 use crate::report::{pct, Report, Table};
 use crate::system::{ClusterSystem, TrainingSystem};
@@ -55,6 +56,10 @@ pub enum Scenario {
     Cluster,
     /// Continuous-batching inference serving ([`tee_serve`]).
     Serve,
+    /// Discrete-event cluster training — heterogeneous NPUs and pipeline
+    /// schedules the analytic model cannot price
+    /// ([`crate::DesClusterSystem`]).
+    Des,
 }
 
 impl Scenario {
@@ -64,6 +69,7 @@ impl Scenario {
             Scenario::Train => "train",
             Scenario::Cluster => "cluster",
             Scenario::Serve => "serve",
+            Scenario::Des => "des",
         }
     }
 
@@ -73,13 +79,19 @@ impl Scenario {
             "train" => Some(Scenario::Train),
             "cluster" => Some(Scenario::Cluster),
             "serve" => Some(Scenario::Serve),
+            "des" => Some(Scenario::Des),
             _ => None,
         }
     }
 
     /// All scenarios, in presentation order.
-    pub fn all() -> [Scenario; 3] {
-        [Scenario::Train, Scenario::Cluster, Scenario::Serve]
+    pub fn all() -> [Scenario; 4] {
+        [
+            Scenario::Train,
+            Scenario::Cluster,
+            Scenario::Serve,
+            Scenario::Des,
+        ]
     }
 }
 
@@ -189,6 +201,17 @@ pub fn space_for(scenario: Scenario, ctx: &RunContext) -> Space {
             Knob::numeric("HBM GB/s", [64.0, 128.0, 256.0]),
             Knob::numeric("PE dim", [256.0, 512.0, 1024.0]),
             Knob::numeric("KV resident reqs", [2.0, 4.0, 8.0]),
+        ]),
+        Scenario::Des => Space::new(vec![
+            model_knob(ctx),
+            Knob::numeric("NPUs", ctx.cluster_sizes.iter().map(|&n| f64::from(n))),
+            Knob::labeled("fabric", [("pcie-p2p", 0.0), ("nvlink", 1.0)]),
+            Knob::numeric("straggler", ctx.straggler_factors.iter().copied()),
+            Knob::labeled("layout", [("data", 0.0), ("pipeline", 1.0)]),
+            Knob::numeric(
+                "microbatches",
+                ctx.pipeline_microbatches.iter().map(|&m| f64::from(m)),
+            ),
         ]),
     }
 }
@@ -367,6 +390,60 @@ fn eval_cluster(ctx: &RunContext, space: &Space, point: &Point) -> Vec<ModeEval>
         .collect()
 }
 
+/// Prices one discrete-event cluster point under every context mode. The
+/// layout knob selects data-parallel (straggler skew on the collective)
+/// or pipeline-parallel (boundary activations contending on the fabric);
+/// the microbatch knob only binds in the pipeline layout. The step runs
+/// through [`crate::DesClusterSystem`] — event replay rather than the
+/// analytic fold — so the exposed and crypto objectives reflect queueing
+/// a closed form cannot see.
+fn eval_des(ctx: &RunContext, space: &Space, point: &Point) -> Vec<ModeEval> {
+    let model = model_at(ctx, space, point);
+    let n_npus = space.value(point, 1) as u32;
+    let interconnect = if space.value(point, 2) == 0.0 {
+        Interconnect::PcieP2p
+    } else {
+        Interconnect::NvlinkLike
+    };
+    let straggler = space.value(point, 3);
+    let parallelism = if space.value(point, 4) == 0.0 {
+        Parallelism::Data
+    } else {
+        Parallelism::Pipeline {
+            microbatches: space.value(point, 5) as u32,
+        }
+    };
+    let des_cfg = DesClusterConfig {
+        cluster: ClusterConfig {
+            n_npus,
+            interconnect,
+        },
+        straggler_factor: straggler,
+        parallelism,
+    };
+    let schedule = StepSchedule::of(&model);
+    ctx.modes
+        .iter()
+        .map(|&mode| {
+            // Adam runs on the reduced (model-sized) gradients in both
+            // layouts, so the cached per-(model, mode) phase applies.
+            let cpu = cached_cpu_time(&ctx.cfg, mode, &model);
+            let mut sys = DesClusterSystem::new(ctx.cfg.clone(), des_cfg, mode);
+            let report = sys.simulate_with_cpu_time(&schedule, cpu);
+            let b = report.breakdown;
+            let total = report.makespan;
+            let mac = TrainingSystem::new(ctx.cfg.clone(), mode).mac_scheme();
+            ModeEval {
+                mode,
+                throughput_tps: model.tokens_per_step() as f64 / total.as_secs_f64(),
+                exposed: b.comm_w + b.comm_g + b.comm_ar,
+                crypto_frac: report.crypto.as_secs_f64() / total.as_secs_f64()
+                    + mac.traffic_overhead(),
+            }
+        })
+        .collect()
+}
+
 /// The crypto share of one KV transfer under `protocol`: the fraction of
 /// a reference migration's wall-clock that is staging conversion rather
 /// than bus/DRAM time (0 for the plain and direct paths).
@@ -445,7 +522,10 @@ fn run_points(
     // pairs across the worker threads (each pair is an independent pure
     // computation, so the fill order cannot perturb results).
     let executor = Executor::new(ctx.worker_threads, ctx.seed);
-    if matches!(scenario, Scenario::Train | Scenario::Cluster) {
+    if matches!(
+        scenario,
+        Scenario::Train | Scenario::Cluster | Scenario::Des
+    ) {
         let mut model_indices: Vec<usize> =
             points.iter().map(|p| space.value(p, 0) as usize).collect();
         model_indices.sort_unstable();
@@ -465,6 +545,7 @@ fn run_points(
         Scenario::Train => eval_train(ctx, &space, point),
         Scenario::Cluster => eval_cluster(ctx, &space, point),
         Scenario::Serve => eval_serve(ctx, &space, point),
+        Scenario::Des => eval_des(ctx, &space, point),
     });
     ExploreRun {
         scenario,
@@ -733,6 +814,12 @@ mod tests {
         assert_eq!(cluster.knobs()[1].len(), c.cluster_sizes.len());
         let serve = space_for(Scenario::Serve, &c);
         assert_eq!(serve.knobs().len(), 5);
+        let des = space_for(Scenario::Des, &c);
+        assert_eq!(des.knobs().len(), 6);
+        assert_eq!(des.knobs()[3].name, "straggler");
+        assert_eq!(des.knobs()[3].len(), c.straggler_factors.len());
+        assert_eq!(des.knobs()[5].name, "microbatches");
+        assert_eq!(Scenario::parse("des"), Some(Scenario::Des));
         assert_eq!(Scenario::parse("cluster"), Some(Scenario::Cluster));
         assert_eq!(Scenario::parse("nope"), None);
         for s in Scenario::all() {

@@ -37,6 +37,7 @@
 
 pub mod artifact;
 pub mod config;
+pub mod des_cluster;
 pub mod experiments;
 pub mod explore;
 pub mod hw;
@@ -48,6 +49,7 @@ pub mod system;
 
 pub use artifact::{Artifact, RunContext};
 pub use config::{ClusterConfig, SecureMode, SystemConfig};
+pub use des_cluster::{DesClusterConfig, DesClusterSystem, DesStepReport, Parallelism};
 pub use hw::HardwareBudget;
 pub use report::{PhaseLedger, Report};
 pub use session::SecureSession;

@@ -1,7 +1,7 @@
 //! The perf trajectory — `tensortee bench`.
 //!
 //! Times every registry artifact (warmup + median-of-N wall clock) plus
-//! the per-point cost of the three `explore` scenario sweeps, and renders
+//! the per-point cost of every `explore` scenario sweep, and renders
 //! the result as the `BENCH_<rev>.json` baseline committed at the repo
 //! root. CI re-measures on every push and *ratchets*: a median more than
 //! the tolerance band above the committed baseline fails the build
@@ -144,7 +144,7 @@ pub fn detect_rev() -> String {
 
 impl BenchTrajectory {
     /// Measures the full trajectory under `ctx`: every registry artifact,
-    /// then the three scenario sweeps (first warmed, then timed, so the
+    /// then every scenario sweep (first warmed, then timed, so the
     /// sweep numbers report the marginal cost the memos leave behind).
     pub fn measure(ctx: &RunContext, opts: &BenchOptions) -> BenchTrajectory {
         assert!(opts.repeats > 0, "bench needs at least one repetition");

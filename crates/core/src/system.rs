@@ -216,8 +216,9 @@ impl TrainingSystem {
         }
     }
 
-    /// Whether this mode's transfers overlap computation.
-    fn overlaps(&self) -> bool {
+    /// Whether this mode's transfers overlap computation (shared with the
+    /// discrete-event engine so both paths apply one overlap policy).
+    pub(crate) fn overlaps(&self) -> bool {
         // The staging protocol serializes against compute (AES/DRAM
         // contention, §3.3). Plain (non-secure) DMA and the direct
         // protocol overlap.

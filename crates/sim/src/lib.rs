@@ -11,6 +11,9 @@
 //!   can be composed on one timeline,
 //! * [`ClockDomain`] — cycle ↔ time conversion for one frequency,
 //! * [`EventQueue`] — a deterministic discrete-event queue,
+//! * [`des`] — a component/scheduler discrete-event core layered on the
+//!   queue (`Component` with `next_tick`/`tick`, min-heap keyed
+//!   `(time, component_id)`), the substrate of `DesClusterSystem`,
 //! * [`BandwidthResource`] / [`ThroughputPipe`] — contention models for
 //!   shared resources such as AES engines, DRAM channels and PCIe lanes,
 //! * [`stats`] — counters/histograms used for every reported figure,
@@ -30,6 +33,7 @@
 
 pub mod bandwidth;
 pub mod clock;
+pub mod des;
 pub mod event;
 pub mod rng;
 pub mod stats;
@@ -38,6 +42,7 @@ pub mod util;
 
 pub use bandwidth::{BandwidthResource, ThroughputPipe};
 pub use clock::{ClockDomain, Time};
+pub use des::{Component, ComponentId, Scheduler};
 pub use event::EventQueue;
 pub use rng::SplitMix64;
 pub use stats::{Counter, Histogram, StatSet};

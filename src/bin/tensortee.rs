@@ -28,7 +28,7 @@ commands:
   list                          list registered artifacts
   run <id>... [flags]           run specific artifacts
   run --all [flags]             run the whole registry
-  explore <train|cluster|serve> [flags]
+  explore <train|cluster|serve|des> [flags]
                                 sweep the scenario's hardware/security design
                                 space: Pareto frontier + tornado sensitivity
   bench [flags]                 time every artifact + the explore sweeps;
@@ -183,7 +183,7 @@ fn list() {
     println!("{}", table.to_markdown());
     println!(
         "{} artifacts; run one with `tensortee run <id>` (add --json / --fast), or sweep the \
-         design space with `tensortee explore <train|cluster|serve>`.",
+         design space with `tensortee explore <train|cluster|serve|des>`.",
         registry().len()
     );
 }
@@ -293,7 +293,7 @@ fn explore(raw: &[String]) -> ExitCode {
     };
     let Some(scenario) = Scenario::parse(scenario_arg) else {
         return usage_error(&format!(
-            "unknown scenario {scenario_arg:?}; known: train, cluster, serve"
+            "unknown scenario {scenario_arg:?}; known: train, cluster, serve, des"
         ));
     };
     let ctx = args.context();

@@ -1,0 +1,311 @@
+//! Differential suite: the discrete-event cluster engine against the
+//! analytic [`ClusterSystem`] oracle.
+//!
+//! The load-bearing invariants:
+//!
+//! * **bit-for-bit parity** — a lockstep data-parallel DES run produces
+//!   the *identical* [`ClusterStepBreakdown`] (every field, exact
+//!   picoseconds) for every cluster size in {1, 2, 4, 8}, every security
+//!   mode, and both the fast and the full (Table-1) configuration. The
+//!   analytic path stays the correctness oracle; any divergence is a DES
+//!   bug, not model noise.
+//! * **straggler 1.0 is homogeneous** — the skew knob at its identity
+//!   value changes nothing, bit-for-bit.
+//! * **determinism** — repeat DES runs, repeat artifact reports and the
+//!   explore `des` scenario across worker-thread counts are all
+//!   byte-identical (the float-masking check mirrors
+//!   `tests/bench_trajectory.rs`: masking every JSON float must be a
+//!   no-op on already-identical bytes).
+
+use tee_sim::Time;
+use tee_workloads::zoo::by_name;
+use tee_workloads::StepSchedule;
+use tensortee::artifact::{find, RunContext};
+use tensortee::json::Json;
+use tensortee::{
+    ClusterConfig, ClusterSystem, DesClusterConfig, DesClusterSystem, Parallelism, SecureMode,
+    SystemConfig, TrainingSystem,
+};
+
+/// Synthetic CPU Adam phases (the cacheline CPU simulation is the slow
+/// part of a step; parity must hold for *any* supplied value, so the
+/// sweep uses several spread over three orders of magnitude).
+const CPU_TIMES: [Time; 3] = [Time::from_us(80), Time::from_ms(25), Time::from_ms(400)];
+
+fn configs() -> [(&'static str, SystemConfig); 2] {
+    [
+        ("fast", SystemConfig::fast_sim()),
+        ("full", SystemConfig::default()),
+    ]
+}
+
+#[test]
+fn lockstep_des_matches_analytic_bit_for_bit_everywhere() {
+    let model = by_name("GPT").unwrap();
+    let schedule = StepSchedule::of(&model);
+    for (cfg_label, cfg) in configs() {
+        for n in [1u32, 2, 4, 8] {
+            for mode in SecureMode::all() {
+                for cpu in CPU_TIMES {
+                    let analytic = ClusterSystem::new(cfg.clone(), ClusterConfig::of(n), mode)
+                        .simulate_with_cpu_time(&schedule, cpu);
+                    let des = DesClusterSystem::new(
+                        cfg.clone(),
+                        DesClusterConfig::lockstep(ClusterConfig::of(n)),
+                        mode,
+                    )
+                    .simulate_with_cpu_time(&schedule, cpu);
+                    let label = format!("{cfg_label} N={n} {} cpu={cpu}", mode.label());
+                    assert_eq!(des.breakdown, analytic, "{label}");
+                    assert_eq!(des.makespan, analytic.total(), "{label}");
+                    // An uncontended replay: the fabric never queues.
+                    assert_eq!(des.fabric_contention, Time::ZERO, "{label}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn larger_model_parity_holds_on_the_full_config() {
+    // A second model with a different layer mix, gradient footprint and
+    // overlap geometry — parity is a property of the engine, not of one
+    // schedule's numbers.
+    let model = by_name("GPT2-M").unwrap();
+    let schedule = StepSchedule::of(&model);
+    let cpu = Time::from_ms(120);
+    for n in [2u32, 8] {
+        for mode in SecureMode::all() {
+            let analytic = ClusterSystem::new(SystemConfig::default(), ClusterConfig::of(n), mode)
+                .simulate_with_cpu_time(&schedule, cpu);
+            let des = DesClusterSystem::new(
+                SystemConfig::default(),
+                DesClusterConfig::lockstep(ClusterConfig::of(n)),
+                mode,
+            )
+            .simulate_with_cpu_time(&schedule, cpu);
+            assert_eq!(des.breakdown, analytic, "N={n} {}", mode.label());
+        }
+    }
+}
+
+#[test]
+fn real_cpu_path_stays_in_parity_under_the_fast_config() {
+    // One end-to-end case where both paths price the CPU phase
+    // themselves (`simulate_schedule`), pinning the plumbing around the
+    // supplied-cpu shortcut.
+    let model = by_name("GPT").unwrap();
+    let schedule = StepSchedule::of(&model);
+    let mode = SecureMode::TensorTee;
+    let analytic = ClusterSystem::new(SystemConfig::fast_sim(), ClusterConfig::of(4), mode)
+        .simulate_schedule(&schedule);
+    let des = DesClusterSystem::new(
+        SystemConfig::fast_sim(),
+        DesClusterConfig::lockstep(ClusterConfig::of(4)),
+        mode,
+    )
+    .simulate_schedule(&schedule);
+    assert_eq!(des.breakdown, analytic);
+}
+
+#[test]
+fn straggler_identity_factor_is_bit_for_bit_homogeneous() {
+    let model = by_name("GPT").unwrap();
+    let schedule = StepSchedule::of(&model);
+    let cpu = Time::from_ms(25);
+    for mode in SecureMode::all() {
+        for parallelism in [Parallelism::Data, Parallelism::Pipeline { microbatches: 4 }] {
+            let run = |factor: f64| {
+                DesClusterSystem::new(
+                    SystemConfig::fast_sim(),
+                    DesClusterConfig {
+                        cluster: ClusterConfig::of(4),
+                        straggler_factor: factor,
+                        parallelism,
+                    },
+                    mode,
+                )
+                .simulate_with_cpu_time(&schedule, cpu)
+            };
+            assert_eq!(run(1.0), run(1.0), "{} repeat", mode.label());
+            // factor 1.0 goes through the exact (unscaled) path: the
+            // entire report matches the lockstep default bit-for-bit.
+            let lockstep = DesClusterSystem::new(
+                SystemConfig::fast_sim(),
+                match parallelism {
+                    Parallelism::Data => DesClusterConfig::lockstep(ClusterConfig::of(4)),
+                    Parallelism::Pipeline { microbatches } => {
+                        DesClusterConfig::lockstep(ClusterConfig::of(4)).with_pipeline(microbatches)
+                    }
+                },
+                mode,
+            )
+            .simulate_with_cpu_time(&schedule, cpu);
+            assert_eq!(run(1.0), lockstep, "{}", mode.label());
+        }
+    }
+}
+
+#[test]
+fn straggler_skew_only_ever_slows_the_step() {
+    let model = by_name("GPT").unwrap();
+    let schedule = StepSchedule::of(&model);
+    let cpu = Time::from_ms(25);
+    for mode in SecureMode::all() {
+        let mut prev = Time::ZERO;
+        for factor in [1.0, 1.1, 1.25, 1.5] {
+            let report = DesClusterSystem::new(
+                SystemConfig::fast_sim(),
+                DesClusterConfig::lockstep(ClusterConfig::of(4)).with_straggler(factor),
+                mode,
+            )
+            .simulate_with_cpu_time(&schedule, cpu);
+            assert!(
+                report.makespan >= prev,
+                "{} {factor}: {} < {prev}",
+                mode.label(),
+                report.makespan
+            );
+            assert_eq!(report.makespan, report.breakdown.total(), "partition");
+            prev = report.makespan;
+        }
+    }
+}
+
+#[test]
+fn pipeline_microbatches_shrink_the_compute_front() {
+    // GPipe shape: more microbatches -> smaller fill/drain bubble ->
+    // earlier last-stage drain; and the boundary traffic contends on the
+    // shared fabric under the staging protocol.
+    let model = by_name("GPT").unwrap();
+    let schedule = StepSchedule::of(&model);
+    let cpu = Time::from_ms(25);
+    let run = |m: u32, mode: SecureMode| {
+        DesClusterSystem::new(
+            SystemConfig::fast_sim(),
+            DesClusterConfig::lockstep(ClusterConfig::of(4)).with_pipeline(m),
+            mode,
+        )
+        .simulate_with_cpu_time(&schedule, cpu)
+    };
+    for mode in SecureMode::all() {
+        let few = run(2, mode);
+        let many = run(16, mode);
+        assert!(
+            many.breakdown.npu <= few.breakdown.npu,
+            "{}: {} > {}",
+            mode.label(),
+            many.breakdown.npu,
+            few.breakdown.npu
+        );
+        assert_eq!(few.breakdown.comm_ar, Time::ZERO, "no collective");
+        assert_eq!(few.makespan, few.breakdown.total());
+    }
+    // Staging pays a conversion on every boundary hop; direct does not.
+    assert!(run(8, SecureMode::SgxMgx).crypto > run(8, SecureMode::TensorTee).crypto);
+}
+
+/// Replaces every float in `json` with 0.0, leaving structure, strings
+/// and integers untouched (the bench-trajectory masking trick).
+fn mask_floats(json: Json) -> Json {
+    match json {
+        Json::Float(_) => Json::Float(0.0),
+        Json::Array(items) => Json::Array(items.into_iter().map(mask_floats).collect()),
+        Json::Object(fields) => Json::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k, mask_floats(v)))
+                .collect(),
+        ),
+        other => other,
+    }
+}
+
+#[test]
+fn des_artifacts_are_byte_identical_across_invocations() {
+    let ctx = RunContext::fast();
+    for id in ["des_parity", "des_straggler", "des_pipeline"] {
+        let artifact = find(id).unwrap_or_else(|| panic!("{id} not registered"));
+        let first = artifact.run(&ctx);
+        let second = artifact.run(&ctx);
+        // The DES is fully deterministic: raw bytes match, so masking
+        // floats (the escape hatch wall-clock benches need) is a no-op.
+        assert_eq!(
+            first.to_json().to_string(),
+            second.to_json().to_string(),
+            "{id}: JSON differs between runs"
+        );
+        assert_eq!(
+            mask_floats(first.to_json()).to_string(),
+            mask_floats(second.to_json()).to_string(),
+            "{id}: masked JSON differs between runs"
+        );
+        assert_eq!(first.to_markdown(), second.to_markdown(), "{id}");
+    }
+}
+
+#[test]
+fn des_parity_artifact_reports_zero_divergence() {
+    let report = find("des_parity").unwrap().run(&RunContext::fast());
+    assert_eq!(report.metric_value("max_divergence_ps"), Some(0.0));
+    assert!(!report.to_markdown().contains("| NO |"), "a row diverged");
+}
+
+#[test]
+fn event_counts_scale_with_cluster_size_and_are_stable() {
+    // The event count is part of the deterministic surface: same config,
+    // same count; more ranks, more events.
+    let model = by_name("GPT").unwrap();
+    let schedule = StepSchedule::of(&model);
+    let cpu = Time::from_ms(25);
+    let events = |n: u32| {
+        DesClusterSystem::new(
+            SystemConfig::fast_sim(),
+            DesClusterConfig::lockstep(ClusterConfig::of(n)),
+            SecureMode::TensorTee,
+        )
+        .simulate_with_cpu_time(&schedule, cpu)
+        .events
+    };
+    assert_eq!(events(4), events(4));
+    assert!(events(8) > events(2), "{} <= {}", events(8), events(2));
+}
+
+#[test]
+fn des_system_exposes_its_configuration() {
+    let des = DesClusterSystem::new(
+        SystemConfig::fast_sim(),
+        DesClusterConfig::lockstep(ClusterConfig::of(2))
+            .with_straggler(1.25)
+            .with_pipeline(3),
+        SecureMode::SgxMgx,
+    );
+    assert_eq!(des.mode(), SecureMode::SgxMgx);
+    assert_eq!(des.des_config().straggler_factor, 1.25);
+    assert_eq!(
+        des.des_config().parallelism,
+        Parallelism::Pipeline { microbatches: 3 }
+    );
+    assert_eq!(des.des_config().parallelism.label(), "pipeline/3");
+    assert_eq!(Parallelism::Data.label(), "data");
+}
+
+#[test]
+fn supplied_and_self_priced_cpu_paths_agree() {
+    // `simulate_schedule` must equal `simulate_with_cpu_time` fed the
+    // same CPU phase — the seam the explorer and the tests lean on.
+    let model = by_name("GPT").unwrap();
+    let schedule = StepSchedule::of(&model);
+    let mode = SecureMode::NonSecure;
+    let replica = schedule.data_parallel_replica(2);
+    let cpu = TrainingSystem::new(SystemConfig::fast_sim(), mode).cpu_time(&replica);
+    let mut des = DesClusterSystem::new(
+        SystemConfig::fast_sim(),
+        DesClusterConfig::lockstep(ClusterConfig::of(2)),
+        mode,
+    );
+    assert_eq!(
+        des.simulate_schedule(&schedule),
+        des.simulate_with_cpu_time(&schedule, cpu)
+    );
+}

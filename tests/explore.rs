@@ -10,8 +10,8 @@
 //!   dominated by any sampled point, and every mode either appears on
 //!   the frontier or the report says why it never does (the acceptance
 //!   shape of the artifact),
-//! * **every scenario prices** — train, cluster and serve sweeps all
-//!   run under the reduced context and stay deterministic.
+//! * **every scenario prices** — train, cluster, serve and des sweeps
+//!   all run under the reduced context and stay deterministic.
 
 use tee_explore::dominates;
 use tensortee::artifact::{find, RunContext};
@@ -31,7 +31,7 @@ fn thin() -> RunContext {
 
 #[test]
 fn reports_are_byte_identical_across_worker_thread_counts() {
-    for scenario in [Scenario::Train, Scenario::Serve] {
+    for scenario in [Scenario::Train, Scenario::Serve, Scenario::Des] {
         let one = thin().with_worker_threads(1);
         let four = thin().with_worker_threads(4);
         let (_, report_one) = explore_pareto_for(scenario, &one);
@@ -178,6 +178,27 @@ fn serve_scenario_shares_one_trace_per_point_and_seed_matters() {
             .collect::<Vec<_>>()
     };
     assert_ne!(tps(&run), tps(&reseeded), "seed must reach the traces");
+}
+
+#[test]
+fn des_scenario_prices_stragglers_and_pipelines() {
+    let mut ctx = thin();
+    ctx.explore_points = 8;
+    let (run, report) = explore_pareto_for(Scenario::Des, &ctx);
+    assert_eq!(run.points.len(), 8);
+    for name in ["straggler", "layout", "microbatches"] {
+        assert!(
+            run.space.knobs().iter().any(|k| k.name == name),
+            "{name} knob missing from the des space"
+        );
+    }
+    for evals in &run.evals {
+        for e in evals {
+            assert!(e.throughput_tps > 0.0);
+        }
+    }
+    let (_, again) = explore_pareto_for(Scenario::Des, &ctx);
+    assert_eq!(report.to_markdown(), again.to_markdown());
 }
 
 #[test]

@@ -10,7 +10,7 @@ use tensortee::json::{is_well_formed, Json};
 #[test]
 fn ids_unique_and_registry_complete() {
     let ids: Vec<&str> = registry().iter().map(|a| a.id).collect();
-    assert!(ids.len() >= 19, "registry shrank: {ids:?}");
+    assert!(ids.len() >= 22, "registry shrank: {ids:?}");
     let mut sorted = ids.clone();
     sorted.sort_unstable();
     sorted.dedup();
@@ -94,6 +94,9 @@ artifact_invariants! {
     sec62_fast_and_deterministic => "sec62",
     sec65_fast_and_deterministic => "sec65",
     scaling_strong_fast_and_deterministic => "scaling_strong",
+    des_parity_fast_and_deterministic => "des_parity",
+    des_straggler_fast_and_deterministic => "des_straggler",
+    des_pipeline_fast_and_deterministic => "des_pipeline",
     ablations_fast_and_deterministic => "ablations",
     serve_latency_fast_and_deterministic => "serve_latency",
     serve_sweep_fast_and_deterministic => "serve_sweep",
