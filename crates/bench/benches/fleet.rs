@@ -1,0 +1,85 @@
+//! Fleet serving — KV-aware router, secure KV handoff and the
+//! calendar-queue DES core at cluster scale (extension beyond the
+//! paper's single-instance serving; see EXPERIMENTS.md).
+//!
+//! Prints the `fleet_latency` per-mode table and the `fleet_handoff`
+//! placement × protocol grid: KV-aware placement sends follow-up turns
+//! home (cutting migrations vs round-robin), and among the migrations
+//! that do happen, TensorTEE's direct handoff overlaps the KV transfer
+//! with destination compute while SGX+MGX's staged path stays exposed.
+//! The micro-benchmarks time one fleet trace end-to-end per placement
+//! policy, plus the calendar-vs-heap event-queue kernel the scheduler
+//! runs on.
+
+use criterion::black_box;
+use tee_bench::{criterion_quick, run_registered};
+use tee_fleet::{simulate, FleetConfig, Policy};
+use tee_serve::config::SecurityProfile;
+use tee_serve::{ServeConfig, SessionTraceConfig};
+use tee_sim::{EventQueue, HeapQueue, SplitMix64, Time};
+use tee_workloads::zoo::TABLE2;
+
+/// The hold-model churn both queue kernels run: 1024 events in flight,
+/// every pop schedules a successor at a random forward offset.
+fn churn<Q>(
+    q: &mut Q,
+    events: u64,
+    mut sched: impl FnMut(&mut Q, Time, u64),
+    mut pop: impl FnMut(&mut Q) -> (Time, u64),
+) {
+    let mut rng = SplitMix64::new(0xF1EE7);
+    for i in 0..1024u64 {
+        sched(q, Time::from_ns(rng.next_below(1_000_000)), i);
+    }
+    let mut next = 1024u64;
+    for _ in 0..events {
+        let (now, e) = pop(q);
+        black_box(e);
+        if next < events {
+            sched(q, now + Time::from_ns(1 + rng.next_below(1_000_000)), next);
+            next += 1;
+        }
+    }
+}
+
+fn main() {
+    run_registered("fleet_latency");
+    run_registered("fleet_handoff");
+
+    // Kernel timing: one short multi-tenant trace end-to-end per
+    // placement policy, plus the raw event-queue hold-model churn.
+    let model = TABLE2[0]; // GPT keeps the per-iteration price small
+    let serve = ServeConfig::for_model(&model, 4, 640);
+    let trace = SessionTraceConfig::poisson(48, 24.0, 4, 42).generate();
+    let profile = SecurityProfile::tensor_tee();
+    let mut c = criterion_quick();
+    for policy in Policy::all() {
+        let cfg = FleetConfig::new(serve.clone(), 4).with_policy(policy);
+        c.bench_function(&format!("fleet/trace48_{}", policy.label()), |b| {
+            b.iter(|| black_box(simulate(&cfg, &model, &profile, &trace).goodput_tps()))
+        });
+    }
+    c.bench_function("fleet/queue_calendar_64k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            churn(
+                &mut q,
+                1 << 16,
+                |q, at, e| q.schedule(at, e),
+                |q| q.pop().unwrap(),
+            );
+        })
+    });
+    c.bench_function("fleet/queue_heap_64k", |b| {
+        b.iter(|| {
+            let mut q: HeapQueue<u64> = HeapQueue::new();
+            churn(
+                &mut q,
+                1 << 16,
+                |q, at, e| q.schedule(at, e),
+                |q| q.pop().unwrap(),
+            );
+        })
+    });
+    c.final_summary();
+}

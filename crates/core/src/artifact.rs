@@ -46,6 +46,15 @@ pub struct RunContext {
     pub serve_rate_rps: f64,
     /// Load multipliers of the nominal rate swept by `serve_sweep`.
     pub serve_load_factors: Vec<f64>,
+    /// Serving instances in the fleet artifacts (`fleet_latency` /
+    /// `fleet_handoff`).
+    pub fleet_instances: usize,
+    /// Session turns per fleet trace.
+    pub fleet_requests: u32,
+    /// Nominal fleet arrival rate in turns per second.
+    pub fleet_rate_rps: f64,
+    /// Tenants mixed into the fleet trace.
+    pub fleet_tenants: u32,
     /// Worker threads the design-space explorer fans points across (the
     /// CLI plumbs `--threads` here). Results are bit-identical for any
     /// value — the workers draw per-point RNG sub-streams.
@@ -80,6 +89,10 @@ impl RunContext {
             serve_requests: 48,
             serve_rate_rps: 8.0,
             serve_load_factors: vec![0.5, 1.0, 2.0],
+            fleet_instances: 4,
+            fleet_requests: 192,
+            fleet_rate_rps: 24.0,
+            fleet_tenants: 4,
             worker_threads: 4,
             explore_points: 96,
             straggler_factors: vec![1.0, 1.1, 1.25, 1.5],
@@ -101,6 +114,9 @@ impl RunContext {
             hit_iterations: 6,
             serve_requests: 16,
             serve_load_factors: vec![1.0, 2.0],
+            fleet_instances: 2,
+            fleet_requests: 64,
+            fleet_rate_rps: 16.0,
             explore_points: 32,
             straggler_factors: vec![1.0, 1.5],
             pipeline_microbatches: vec![2, 8],
@@ -222,7 +238,7 @@ impl Artifact {
 }
 
 /// The registry, in paper presentation order.
-static REGISTRY: [Artifact; 22] = [
+static REGISTRY: [Artifact; 24] = [
     Artifact {
         id: "fig03",
         title: "CPU TEE slowdown vs. thread count",
@@ -371,6 +387,22 @@ static REGISTRY: [Artifact; 22] = [
         runner: |ctx| experiments::serve_sweep(ctx).1,
     },
     Artifact {
+        id: "fleet_latency",
+        title: "Fleet serving: latency and goodput per mode",
+        paper_anchor: "extension (\u{a7}3.3/\u{a7}4.3 at fleet scale)",
+        claim: "staged KV handoff serializes migrations against destination compute; \
+                TensorTEE's direct handoff keeps fleet TTFT/goodput near non-secure",
+        runner: |ctx| experiments::fleet_latency(ctx).1,
+    },
+    Artifact {
+        id: "fleet_handoff",
+        title: "Fleet serving: placement policy \u{d7} handoff protocol",
+        paper_anchor: "extension (\u{a7}3.3/\u{a7}4.3 at fleet scale)",
+        claim: "KV-aware placement cuts migrations vs round-robin; among forced migrations \
+                the direct protocol strictly beats staged on exposed handoff time",
+        runner: |ctx| experiments::fleet_handoff(ctx).1,
+    },
+    Artifact {
         id: "explore_pareto",
         title: "Design-space exploration: Pareto frontier",
         paper_anchor: "extension (\u{a7}6 across the hardware space)",
@@ -403,7 +435,7 @@ mod tests {
 
     #[test]
     fn registry_covers_the_evaluation() {
-        assert!(registry().len() >= 22);
+        assert!(registry().len() >= 24);
         for id in [
             "fig03",
             "fig04",
@@ -425,6 +457,8 @@ mod tests {
             "ablations",
             "serve_latency",
             "serve_sweep",
+            "fleet_latency",
+            "fleet_handoff",
             "explore_pareto",
             "explore_sensitivity",
         ] {
@@ -448,6 +482,8 @@ mod tests {
         assert_eq!(custom.primary_model().name, "GPT");
         // The fast context thins the serving trace but keeps the seed.
         assert!(fast.serve_requests < full.serve_requests);
+        assert!(fast.fleet_requests < full.fleet_requests);
+        assert!(fast.fleet_instances <= full.fleet_instances);
         assert_eq!(fast.seed, full.seed);
         assert_eq!(RunContext::fast().with_seed(7).seed, 7);
         // The explorer knobs: fast thins the point budget, keeps the

@@ -15,10 +15,13 @@ use tee_comm::protocol::{DirectProtocol, StagingProtocol};
 use tee_comm::schedule::{overlapped_time, serialized_time, Timeline};
 use tee_cpu::analyzer::TenAnalyzerConfig;
 use tee_cpu::{AdamWorkload, CpuEngine, GemmWorkload, SoftVnConfig, TeeMode};
+use tee_fleet::{simulate as fleet_simulate, FleetConfig, FleetReport, Policy};
 use tee_npu::engine::Layer as NpuLayer;
 use tee_npu::mac::figure20_sweep;
 use tee_npu::NpuEngine;
-use tee_serve::{simulate, SecurityProfile, ServeConfig, ServeReport, TraceConfig};
+use tee_serve::{
+    simulate, SecurityProfile, ServeConfig, ServeReport, SessionTraceConfig, TraceConfig,
+};
 use tee_sim::Time;
 use tee_workloads::census::TensorCensus;
 use tee_workloads::zoo::{ModelConfig, TABLE2};
@@ -1314,6 +1317,215 @@ pub fn serve_sweep(ctx: &RunContext) -> (Vec<ServeSweepRow>, Report) {
     (rows, report)
 }
 
+// ---------------------------------------------------------------------
+
+/// The shared fleet setup: the primary model served by
+/// [`RunContext::fleet_instances`] continuous-batching instances, and the
+/// seeded multi-tenant session trace both fleet artifacts replay.
+fn fleet_setup(ctx: &RunContext) -> (ModelConfig, FleetConfig, SessionTraceConfig) {
+    let model = ctx.primary_model();
+    let mut trace = SessionTraceConfig::poisson(
+        ctx.fleet_requests,
+        ctx.fleet_rate_rps,
+        ctx.fleet_tenants,
+        ctx.seed,
+    );
+    if ctx.fast {
+        // Shorter turns keep the fast registry run in seconds while
+        // preserving the session/migration shape.
+        trace.prompt_mean = 192;
+        trace.output_mean = 32;
+    }
+    let serve =
+        ServeConfig::for_model(&model, 4, trace.steady_tokens()).with_npu(ctx.cfg.npu.clone());
+    let cfg = FleetConfig::new(serve, ctx.fleet_instances);
+    (model, cfg, trace)
+}
+
+/// One fleet sample: one placement policy, one mode, the shared trace.
+#[derive(Debug, Clone)]
+pub struct FleetRow {
+    /// Placement policy.
+    pub policy: Policy,
+    /// Security mode.
+    pub mode: crate::SecureMode,
+    /// The full fleet report.
+    pub report: FleetReport,
+}
+
+/// Formats an optional nanosecond percentile as a [`Time`].
+fn ns_opt(ns: Option<u64>) -> String {
+    Time::from_ns(ns.unwrap_or(0)).to_string()
+}
+
+/// Runs the `fleet_latency` artifact: the seeded multi-tenant session
+/// trace served by the fleet under KV-aware placement, per mode —
+/// TTFT/TPOT, goodput, and the exposed KV-handoff time migrations cost.
+pub fn fleet_latency(ctx: &RunContext) -> (Vec<FleetRow>, Report) {
+    let (model, cfg, trace_cfg) = fleet_setup(ctx);
+    let trace = trace_cfg.generate();
+    let rows: Vec<FleetRow> = ctx
+        .modes
+        .iter()
+        .map(|&mode| FleetRow {
+            policy: Policy::KvAware,
+            mode,
+            report: fleet_simulate(&cfg, &model, &serve_profile(mode), &trace),
+        })
+        .collect();
+    let mut table = Table::new([
+        "mode",
+        "completed",
+        "TTFT p50",
+        "TTFT p99",
+        "TPOT",
+        "goodput",
+        "migrations",
+        "exposed handoff",
+    ]);
+    for r in &rows {
+        let rep = &r.report;
+        table.row([
+            r.mode.label().to_string(),
+            format!("{}/{}", rep.completed_requests, rep.total_requests),
+            ns_opt(rep.ttft_percentile(0.50)),
+            ns_opt(rep.ttft_percentile(0.99)),
+            Time::from_ns(rep.tpot_mean().round() as u64).to_string(),
+            format!("{:.0} tok/s", rep.goodput_tps()),
+            rep.migrations.to_string(),
+            rep.handoff_exposed_time.to_string(),
+        ]);
+    }
+    let mut report = report_for("fleet_latency");
+    report.table(table);
+    for r in &rows {
+        let key = mode_key(r.mode);
+        report.metric(format!("fleet_goodput_{key}"), r.report.goodput_tps());
+        report.metric(
+            format!("fleet_exposed_handoff_ms_{key}"),
+            r.report.handoff_exposed_time.as_ms_f64(),
+        );
+        report.metric(
+            format!("fleet_ttft_p99_ms_{key}"),
+            Time::from_ns(r.report.ttft_percentile(0.99).unwrap_or(0)).as_ms_f64(),
+        );
+    }
+    let find = |m: crate::SecureMode| rows.iter().find(|r| r.mode == m);
+    if let (Some(base), Some(ours)) = (
+        find(crate::SecureMode::SgxMgx),
+        find(crate::SecureMode::TensorTee),
+    ) {
+        report.note(format!(
+            "{} turns across {} tenants at {} turns/s on {} instances (KV-aware, seed {}): \
+             TensorTEE goodput {:.0} tok/s vs SGX+MGX {:.0} tok/s; \
+             exposed KV-handoff time {} vs {}.",
+            trace.len(),
+            trace_cfg.tenants,
+            trace_cfg.arrivals.rate_rps(),
+            ctx.fleet_instances,
+            trace_cfg.seed,
+            ours.report.goodput_tps(),
+            base.report.goodput_tps(),
+            ours.report.handoff_exposed_time,
+            base.report.handoff_exposed_time,
+        ));
+    }
+    (rows, report)
+}
+
+/// Runs the `fleet_handoff` artifact: the placement-policy × handoff-
+/// protocol grid — migrations, migrated bytes, and per-migration exposed
+/// handoff time for every combination on the shared trace.
+pub fn fleet_handoff(ctx: &RunContext) -> (Vec<FleetRow>, Report) {
+    let (model, cfg, trace_cfg) = fleet_setup(ctx);
+    let trace = trace_cfg.generate();
+    let mut rows = Vec::new();
+    let mut table = Table::new([
+        "policy",
+        "mode",
+        "completed",
+        "migrations",
+        "migration rate",
+        "migrated",
+        "exposed / migration",
+    ]);
+    for policy in Policy::all() {
+        let run_cfg = cfg.clone().with_policy(policy);
+        for &mode in &ctx.modes {
+            let report = fleet_simulate(&run_cfg, &model, &serve_profile(mode), &trace);
+            table.row([
+                policy.label().to_string(),
+                mode.label().to_string(),
+                format!("{}/{}", report.completed_requests, report.total_requests),
+                report.migrations.to_string(),
+                pct(report.migration_rate()),
+                format!("{:.1} MB", report.migrated_bytes as f64 / 1e6),
+                Time::from_ns(report.exposed_per_migration_ns().round() as u64).to_string(),
+            ]);
+            rows.push(FleetRow {
+                policy,
+                mode,
+                report,
+            });
+        }
+    }
+    let mut report = report_for("fleet_handoff");
+    report.table(table);
+    let find = |p: Policy, m: crate::SecureMode| {
+        rows.iter()
+            .find(|r| r.policy == p && r.mode == m)
+            .map(|r| &r.report)
+    };
+    for policy in Policy::all() {
+        if let Some(rep) = find(policy, crate::SecureMode::TensorTee) {
+            report.metric(
+                format!("migrations_{}", policy.label()),
+                rep.migrations as f64,
+            );
+        }
+    }
+    if let (Some(kv), Some(rr)) = (
+        find(Policy::KvAware, crate::SecureMode::TensorTee),
+        find(Policy::RoundRobin, crate::SecureMode::TensorTee),
+    ) {
+        report.metric("migration_cut_vs_round_robin", {
+            let rr_m = rr.migrations as f64;
+            if rr_m > 0.0 {
+                1.0 - kv.migrations as f64 / rr_m
+            } else {
+                0.0
+            }
+        });
+        report.note(format!(
+            "KV-aware placement: {} migrations vs {} under round-robin \
+             ({} follow-up turns stayed local).",
+            kv.migrations,
+            rr.migrations,
+            kv.router_stats.get("local_turns"),
+        ));
+    }
+    if let (Some(staged), Some(direct)) = (
+        find(Policy::RoundRobin, crate::SecureMode::SgxMgx),
+        find(Policy::RoundRobin, crate::SecureMode::TensorTee),
+    ) {
+        report.metric(
+            "exposed_per_migration_staged_ns",
+            staged.exposed_per_migration_ns(),
+        );
+        report.metric(
+            "exposed_per_migration_direct_ns",
+            direct.exposed_per_migration_ns(),
+        );
+        report.note(format!(
+            "Forced migrations (round-robin): staged exposes {} per migration, \
+             direct {} — the overlap gap re-appears at fleet scale.",
+            Time::from_ns(staged.exposed_per_migration_ns().round() as u64),
+            Time::from_ns(direct.exposed_per_migration_ns().round() as u64),
+        ));
+    }
+    (rows, report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1471,6 +1683,46 @@ mod tests {
         for r in &rows {
             assert_eq!(r.report.completed_requests, r.report.total_requests);
         }
+    }
+
+    #[test]
+    fn fleet_latency_compares_the_modes() {
+        let (rows, report) = fleet_latency(&ctx());
+        assert_eq!(rows.len(), ctx().modes.len());
+        let md = report.to_markdown();
+        assert!(md.contains("exposed handoff"));
+        assert!(report.metric_value("fleet_goodput_tensortee").unwrap() > 0.0);
+        let find = |m: SecureMode| &rows.iter().find(|r| r.mode == m).unwrap().report;
+        let staged = find(SecureMode::SgxMgx);
+        let direct = find(SecureMode::TensorTee);
+        // Same trace, same placement → the same migration count; the
+        // staged protocol exposes more of each handoff.
+        assert_eq!(staged.migrations, direct.migrations);
+        if staged.migrations > 0 {
+            assert!(staged.handoff_exposed_time > direct.handoff_exposed_time);
+        }
+    }
+
+    #[test]
+    fn fleet_handoff_covers_the_grid() {
+        let context = ctx();
+        let (rows, report) = fleet_handoff(&context);
+        assert_eq!(rows.len(), 3 * context.modes.len());
+        assert!(report.to_markdown().contains("kv_aware"));
+        let migr = |l: &str| report.metric_value(&format!("migrations_{l}")).unwrap();
+        assert!(
+            migr("kv_aware") < migr("round_robin"),
+            "kv-aware {} vs round-robin {}",
+            migr("kv_aware"),
+            migr("round_robin")
+        );
+        let staged = report
+            .metric_value("exposed_per_migration_staged_ns")
+            .unwrap();
+        let direct = report
+            .metric_value("exposed_per_migration_direct_ns")
+            .unwrap();
+        assert!(direct < staged, "direct {direct} vs staged {staged}");
     }
 
     #[test]

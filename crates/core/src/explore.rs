@@ -1,6 +1,6 @@
 //! Design-space exploration over the TensorTEE system models — the
 //! `explore_pareto` / `explore_sensitivity` artifacts and the engine
-//! behind `tensortee explore <train|cluster|serve>`.
+//! behind `tensortee explore <train|cluster|serve|des|fleet>`.
 //!
 //! The paper evaluates its headline claims at a handful of hand-picked
 //! hardware points; this module asks *where in the hardware/security
@@ -40,8 +40,9 @@ use std::collections::BTreeMap;
 use std::sync::{Mutex, OnceLock};
 use tee_comm::Interconnect;
 use tee_explore::{dominator_of, pareto_frontier, tornado, Executor, Knob, Point, Sense, Space};
+use tee_fleet::{simulate as fleet_simulate, FleetConfig, Policy};
 use tee_mem::DramConfig;
-use tee_serve::{simulate, KvProtocol, ServeConfig, TraceConfig};
+use tee_serve::{simulate, Diurnal, KvProtocol, ServeConfig, SessionTraceConfig, TraceConfig};
 use tee_sim::{SplitMix64, Time};
 use tee_workloads::zoo::ModelConfig;
 use tee_workloads::StepSchedule;
@@ -60,6 +61,9 @@ pub enum Scenario {
     /// schedules the analytic model cannot price
     /// ([`crate::DesClusterSystem`]).
     Des,
+    /// Fleet serving — M instances behind the KV-aware router with
+    /// priced secure KV handoffs ([`tee_fleet`]).
+    Fleet,
 }
 
 impl Scenario {
@@ -70,27 +74,23 @@ impl Scenario {
             Scenario::Cluster => "cluster",
             Scenario::Serve => "serve",
             Scenario::Des => "des",
+            Scenario::Fleet => "fleet",
         }
     }
 
     /// Parses a CLI scenario argument.
     pub fn parse(s: &str) -> Option<Scenario> {
-        match s {
-            "train" => Some(Scenario::Train),
-            "cluster" => Some(Scenario::Cluster),
-            "serve" => Some(Scenario::Serve),
-            "des" => Some(Scenario::Des),
-            _ => None,
-        }
+        Scenario::all().into_iter().find(|s2| s2.label() == s)
     }
 
     /// All scenarios, in presentation order.
-    pub fn all() -> [Scenario; 4] {
+    pub fn all() -> [Scenario; 5] {
         [
             Scenario::Train,
             Scenario::Cluster,
             Scenario::Serve,
             Scenario::Des,
+            Scenario::Fleet,
         ]
     }
 }
@@ -212,6 +212,19 @@ pub fn space_for(scenario: Scenario, ctx: &RunContext) -> Space {
                 "microbatches",
                 ctx.pipeline_microbatches.iter().map(|&m| f64::from(m)),
             ),
+        ]),
+        Scenario::Fleet => Space::new(vec![
+            model_knob(ctx),
+            Knob::numeric("instances", [2.0, 4.0, 8.0]),
+            Knob::labeled(
+                "placement",
+                Policy::all()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (p.label(), i as f64)),
+            ),
+            Knob::numeric("load x", [0.5, 1.0, 2.0]),
+            Knob::labeled("traffic", [("steady", 0.0), ("diurnal", 1.0)]),
         ]),
     }
 }
@@ -500,6 +513,51 @@ fn eval_serve(ctx: &RunContext, space: &Space, point: &Point) -> Vec<ModeEval> {
         .collect()
 }
 
+/// Prices one fleet point under every context mode. Like the serving
+/// evaluator, the session trace is a common-random-numbers design: its
+/// seed is a fixed sub-stream of the context seed shared by every point,
+/// so knob comparisons measure the knobs, not trace resampling. The load
+/// knob stretches the same arrival draws; the traffic knob overlays a
+/// diurnal modulation on them.
+fn eval_fleet(ctx: &RunContext, space: &Space, point: &Point) -> Vec<ModeEval> {
+    let model = model_at(ctx, space, point);
+    let instances = space.value(point, 1) as usize;
+    let policy = Policy::all()[space.value(point, 2) as usize];
+    let rate = ctx.fleet_rate_rps * space.value(point, 3);
+    let trace_seed = SplitMix64::new(ctx.seed).split(1).next_u64();
+    let mut trace_cfg =
+        SessionTraceConfig::poisson(ctx.fleet_requests, rate, ctx.fleet_tenants, trace_seed);
+    if space.value(point, 4) == 1.0 {
+        trace_cfg = trace_cfg.with_diurnal(Diurnal::new(4.0, 0.6));
+    }
+    if ctx.fast {
+        // The reduced context trims turns exactly like the registered
+        // fleet artifacts do (see experiments::fleet_setup).
+        trace_cfg.prompt_mean = 192;
+        trace_cfg.output_mean = 32;
+    }
+    let serve =
+        ServeConfig::for_model(&model, 4, trace_cfg.steady_tokens()).with_npu(ctx.cfg.npu.clone());
+    let cfg = FleetConfig::new(serve, instances).with_policy(policy);
+    let trace = trace_cfg.generate();
+    ctx.modes
+        .iter()
+        .map(|&mode| {
+            let profile = serve_profile(mode);
+            let rep = fleet_simulate(&cfg, &model, &profile, &trace);
+            let makespan = rep.makespan.as_secs_f64().max(1e-12);
+            let kv_crypto =
+                rep.handoff_transfer_time.as_secs_f64() * kv_crypto_share(profile.kv_protocol);
+            ModeEval {
+                mode,
+                throughput_tps: rep.goodput_tps(),
+                exposed: rep.handoff_exposed_time,
+                crypto_frac: profile.mac.traffic_overhead() + kv_crypto / makespan,
+            }
+        })
+        .collect()
+}
+
 /// Samples `ctx.explore_points` points of the scenario's space and
 /// prices them across `ctx.worker_threads` workers.
 pub fn run_scenario(scenario: Scenario, ctx: &RunContext) -> ExploreRun {
@@ -546,6 +604,7 @@ fn run_points(
         Scenario::Cluster => eval_cluster(ctx, &space, point),
         Scenario::Serve => eval_serve(ctx, &space, point),
         Scenario::Des => eval_des(ctx, &space, point),
+        Scenario::Fleet => eval_fleet(ctx, &space, point),
     });
     ExploreRun {
         scenario,
@@ -819,6 +878,11 @@ mod tests {
         assert_eq!(des.knobs()[3].name, "straggler");
         assert_eq!(des.knobs()[3].len(), c.straggler_factors.len());
         assert_eq!(des.knobs()[5].name, "microbatches");
+        let fleet = space_for(Scenario::Fleet, &c);
+        assert_eq!(fleet.knobs().len(), 5);
+        assert_eq!(fleet.knobs()[2].name, "placement");
+        assert_eq!(fleet.knobs()[2].len(), 3);
+        assert_eq!(Scenario::parse("fleet"), Some(Scenario::Fleet));
         assert_eq!(Scenario::parse("des"), Some(Scenario::Des));
         assert_eq!(Scenario::parse("cluster"), Some(Scenario::Cluster));
         assert_eq!(Scenario::parse("nope"), None);

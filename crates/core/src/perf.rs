@@ -20,6 +20,7 @@ use crate::explore::{run_scenario, Scenario};
 use crate::json::Json;
 use crate::report::Table;
 use std::time::Instant;
+use tee_sim::{EventQueue, HeapQueue, SplitMix64, Time};
 
 /// The `schema` tag carried by every `BENCH_<rev>.json`.
 pub const SCHEMA: &str = "tensortee-bench/v1";
@@ -75,6 +76,21 @@ pub struct SweepTiming {
     pub per_point_us: f64,
 }
 
+/// Wall-clock timing of one event-queue implementation on the synthetic
+/// hold-model workload (steady-state pop-and-reschedule; see
+/// `drive_queue`).
+#[derive(Debug, Clone)]
+pub struct QueueTiming {
+    /// Queue implementation (`calendar` / `heap`).
+    pub queue: &'static str,
+    /// Events scheduled and popped per repetition.
+    pub events: u64,
+    /// Median wall time, milliseconds.
+    pub median_ms: f64,
+    /// Median cost per event (one schedule + one pop), nanoseconds.
+    pub per_event_ns: f64,
+}
+
 /// One measured point on the repo's perf trajectory.
 #[derive(Debug, Clone)]
 pub struct BenchTrajectory {
@@ -96,6 +112,92 @@ pub struct BenchTrajectory {
     pub artifacts: Vec<ArtifactTiming>,
     /// Per-scenario sweep timings, in [`Scenario::all`] order.
     pub sweeps: Vec<SweepTiming>,
+    /// Event-queue microbench: the calendar queue the DES scheduler runs
+    /// on vs. the binary-heap reference, same synthetic workload.
+    pub queues: Vec<QueueTiming>,
+}
+
+/// Events per queue-microbench repetition: the acceptance bar for the
+/// calendar queue is "faster than the heap at >= 10^6 events", so even
+/// the fast profile drives a full 2^20-event hold-model churn.
+const QUEUE_BENCH_EVENTS: u64 = 1 << 20;
+
+/// Live events the hold-model keeps in flight (the typical DES regime:
+/// every pop schedules a successor a random offset ahead).
+const QUEUE_BENCH_LIVE: u64 = 4096;
+
+/// Drives one queue through the hold-model workload: seed `LIVE` events,
+/// then pop-and-replace until `events` pops have happened. The event
+/// stream is a pure function of the fixed seed, so both implementations
+/// see identical schedules. Returns a checksum so the work cannot be
+/// optimized away.
+fn drive_queue<Q>(
+    q: &mut Q,
+    events: u64,
+    mut sched: impl FnMut(&mut Q, Time, u64),
+    mut pop: impl FnMut(&mut Q) -> Option<(Time, u64)>,
+) -> u64 {
+    let mut rng = SplitMix64::new(0x5EED_CA1E_0DA0);
+    let seeded = QUEUE_BENCH_LIVE.min(events);
+    for i in 0..seeded {
+        sched(q, Time::from_ns(rng.next_below(1_000_000)), i);
+    }
+    let mut next_id = seeded;
+    let mut checksum = 0u64;
+    for _ in 0..events {
+        let (now, e) = pop(q).expect("hold-model keeps the queue non-empty");
+        checksum = checksum.wrapping_add(e ^ now.as_ps());
+        if next_id < events {
+            sched(
+                q,
+                now + Time::from_ns(1 + rng.next_below(1_000_000)),
+                next_id,
+            );
+            next_id += 1;
+        }
+    }
+    checksum
+}
+
+/// Times both event-queue implementations on the shared workload.
+fn measure_queues(opts: &BenchOptions) -> Vec<QueueTiming> {
+    let events = QUEUE_BENCH_EVENTS;
+    let run_calendar = || {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        std::hint::black_box(drive_queue(
+            &mut q,
+            events,
+            |q, at, e| q.schedule(at, e),
+            |q| q.pop(),
+        ));
+    };
+    let run_heap = || {
+        let mut q: HeapQueue<u64> = HeapQueue::new();
+        std::hint::black_box(drive_queue(
+            &mut q,
+            events,
+            |q, at, e| q.schedule(at, e),
+            |q| q.pop(),
+        ));
+    };
+    let mut out = Vec::new();
+    for (queue, f) in [
+        ("calendar", &run_calendar as &dyn Fn()),
+        ("heap", &run_heap as &dyn Fn()),
+    ] {
+        for _ in 0..opts.warmup {
+            f();
+        }
+        let samples = time_repeats(opts.repeats, f);
+        let median_ms = median(&samples);
+        out.push(QueueTiming {
+            queue,
+            events,
+            median_ms,
+            per_event_ns: median_ms * 1e6 / events as f64,
+        });
+    }
+    out
 }
 
 /// Times `repeats` invocations of `f`, returning each wall time in
@@ -193,6 +295,10 @@ impl BenchTrajectory {
                 }
             })
             .collect();
+        if opts.progress {
+            eprintln!("bench event queues (calendar vs heap) ...");
+        }
+        let queues = measure_queues(opts);
         BenchTrajectory {
             rev: detect_rev(),
             profile: if ctx.fast { "fast" } else { "full" },
@@ -203,6 +309,7 @@ impl BenchTrajectory {
             seed: ctx.seed,
             artifacts,
             sweeps,
+            queues,
         }
     }
 
@@ -258,6 +365,22 @@ impl BenchTrajectory {
                         .collect(),
                 ),
             ),
+            (
+                "queues",
+                Json::Array(
+                    self.queues
+                        .iter()
+                        .map(|q| {
+                            Json::object([
+                                ("queue", Json::str(q.queue)),
+                                ("events", Json::Int(q.events as i64)),
+                                ("median_ms", Json::Float(q.median_ms)),
+                                ("per_event_ns", Json::Float(q.per_event_ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -291,6 +414,20 @@ impl BenchTrajectory {
             ]);
         }
         out.push_str(&sweeps.to_markdown());
+        if !self.queues.is_empty() {
+            out.push('\n');
+            let mut queues = Table::new(["queue", "events", "median", "per event"])
+                .captioned("Event-queue microbench (hold model)");
+            for q in &self.queues {
+                queues.row([
+                    q.queue.to_string(),
+                    q.events.to_string(),
+                    format!("{:.1} ms", q.median_ms),
+                    format!("{:.1} ns", q.per_event_ns),
+                ]);
+            }
+            out.push_str(&queues.to_markdown());
+        }
         out
     }
 }
@@ -326,11 +463,41 @@ mod tests {
             seed: 42,
             artifacts: vec![],
             sweeps: vec![],
+            queues: vec![],
         };
         assert_eq!(t.file_name(), "BENCH_abc123.json");
         let json = t.to_json().to_string();
         assert!(crate::json::is_well_formed(&json), "{json}");
         assert!(json.contains("\"schema\":\"tensortee-bench/v1\""));
+    }
+
+    #[test]
+    fn queue_workload_is_identical_across_implementations() {
+        // Far fewer events than the bench, but the same generator: both
+        // queues must pop the exact same (time, event) stream.
+        let mut cal: EventQueue<u64> = EventQueue::new();
+        let a = drive_queue(&mut cal, 10_000, |q, at, e| q.schedule(at, e), |q| q.pop());
+        let mut heap: HeapQueue<u64> = HeapQueue::new();
+        let b = drive_queue(&mut heap, 10_000, |q, at, e| q.schedule(at, e), |q| q.pop());
+        assert_eq!(a, b, "checksums diverge: calendar and heap disagree");
+    }
+
+    #[test]
+    fn queue_bench_meets_the_event_floor() {
+        const { assert!(QUEUE_BENCH_EVENTS >= 1_000_000) };
+        let opts = BenchOptions {
+            repeats: 1,
+            warmup: 0,
+            progress: false,
+        };
+        let timings = measure_queues(&opts);
+        assert_eq!(timings.len(), 2);
+        assert_eq!(timings[0].queue, "calendar");
+        assert_eq!(timings[1].queue, "heap");
+        for t in &timings {
+            assert_eq!(t.events, QUEUE_BENCH_EVENTS);
+            assert!(t.median_ms > 0.0 && t.per_event_ns > 0.0);
+        }
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! End-to-end fleet claims: determinism, KV-aware placement cutting
+//! migrations, the staged-vs-direct exposed-handoff gap, admission
+//! control, and threshold autoscaling.
+
+use tee_fleet::{simulate, AutoscaleConfig, FleetConfig, FleetReport, Policy};
+use tee_serve::config::SecurityProfile;
+use tee_serve::{Diurnal, ServeConfig, SessionRequest, SessionTraceConfig};
+use tee_sim::Time;
+use tee_workloads::zoo::{by_name, ModelConfig};
+
+fn model() -> ModelConfig {
+    by_name("GPT").unwrap()
+}
+
+fn fleet(n: usize) -> FleetConfig {
+    let m = model();
+    FleetConfig::new(ServeConfig::for_model(&m, 4, 640), n)
+}
+
+fn trace(n: u32, seed: u64) -> Vec<SessionRequest> {
+    SessionTraceConfig::poisson(n, 24.0, 4, seed).generate()
+}
+
+fn run(cfg: &FleetConfig, profile: &SecurityProfile, trace: &[SessionRequest]) -> FleetReport {
+    simulate(cfg, &model(), profile, trace)
+}
+
+#[test]
+fn fleet_run_is_deterministic() {
+    let cfg = fleet(3);
+    let t = trace(96, 42);
+    let profile = SecurityProfile::tensor_tee();
+    let a = run(&cfg, &profile, &t);
+    let b = run(&cfg, &profile, &t);
+    assert_eq!(a, b);
+    assert_eq!(a.completed_requests + a.rejected_requests, 96);
+    assert!(a.events_processed > 0);
+    assert!(a.goodput_tps() > 0.0);
+}
+
+#[test]
+fn all_turns_complete_under_ample_capacity() {
+    let cfg = fleet(4);
+    let t = trace(64, 7);
+    let r = run(&cfg, &SecurityProfile::non_secure(), &t);
+    assert_eq!(r.rejected_requests, 0);
+    assert_eq!(r.completed_requests, 64);
+    assert_eq!(r.ttft_ns.count(), 64);
+    assert_eq!(r.latency_ns.count(), 64);
+    assert!(r.iterations > 0);
+    assert!(r.output_tokens > 0);
+}
+
+#[test]
+fn kv_aware_placement_cuts_migrations() {
+    let t = trace(192, 11);
+    let profile = SecurityProfile::tensor_tee();
+    let rr = run(&fleet(4).with_policy(Policy::RoundRobin), &profile, &t);
+    let ll = run(&fleet(4).with_policy(Policy::LeastLoaded), &profile, &t);
+    let kv = run(&fleet(4).with_policy(Policy::KvAware), &profile, &t);
+    assert!(
+        kv.migrations < rr.migrations,
+        "kv-aware {} vs round-robin {} migrations",
+        kv.migrations,
+        rr.migrations
+    );
+    assert!(kv.migration_rate() < rr.migration_rate());
+    assert!(
+        kv.migrations <= ll.migrations,
+        "kv-aware never migrates more than least-loaded"
+    );
+    assert!(
+        kv.router_stats.get("local_turns") > 0,
+        "follow-up turns go home: {}",
+        kv.router_stats
+    );
+}
+
+#[test]
+fn direct_handoff_strictly_beats_staged_on_exposure() {
+    // Round-robin forces migrations; compare the secure modes' per-
+    // migration exposed handoff time.
+    let t = trace(128, 3);
+    let cfg = fleet(4).with_policy(Policy::RoundRobin);
+    let staged = run(&cfg, &SecurityProfile::sgx_mgx(), &t);
+    let direct = run(&cfg, &SecurityProfile::tensor_tee(), &t);
+    let plain = run(&cfg, &SecurityProfile::non_secure(), &t);
+    assert!(staged.migrations > 0 && direct.migrations > 0);
+    assert!(
+        direct.exposed_per_migration_ns() < staged.exposed_per_migration_ns(),
+        "direct {} vs staged {} exposed ns/migration",
+        direct.exposed_per_migration_ns(),
+        staged.exposed_per_migration_ns()
+    );
+    // Direct still pays session establishment; plain pays nothing.
+    assert!(direct.handoff_setup_time > Time::ZERO);
+    assert_eq!(plain.handoff_setup_time, Time::ZERO);
+    assert_eq!(plain.handoff_exposed_time, Time::ZERO);
+    assert!(
+        plain.handoff_transfer_time > Time::ZERO,
+        "plain still moves bytes"
+    );
+    // And the staged wire time itself is the most expensive.
+    assert!(staged.handoff_transfer_time > direct.handoff_transfer_time);
+}
+
+#[test]
+fn bounded_queues_reject_overload() {
+    // One instance, tiny queue, a burst of co-arrivals: admission control
+    // must shed load rather than queue unboundedly.
+    let t = SessionTraceConfig::poisson(64, 400.0, 2, 9).generate();
+    let cfg = fleet(1).with_queue_bound(4);
+    let r = run(&cfg, &SecurityProfile::non_secure(), &t);
+    assert!(r.rejected_requests > 0, "overload must reject");
+    assert_eq!(r.completed_requests + r.rejected_requests, 64);
+    assert_eq!(u64::from(r.completed_requests), r.latency_ns.count());
+}
+
+#[test]
+fn autoscaling_rides_a_diurnal_wave() {
+    // Start at 1 of 4 instances under a diurnally-modulated session mix;
+    // the control loop must scale up through cold starts, and back down
+    // once load fades (parks evict KV — visible as extra migrations for
+    // evicted sessions under kv-aware placement).
+    let t = SessionTraceConfig::poisson(160, 40.0, 4, 21)
+        .with_diurnal(Diurnal::new(4.0, 0.8))
+        .generate();
+    let scale = AutoscaleConfig {
+        interval: Time::from_ms(50),
+        high_outstanding: 4.0,
+        low_outstanding: 1.0,
+        cold_start: Time::from_ms(200),
+    };
+    let cfg = fleet(4).with_autoscale(1, scale).with_queue_bound(64);
+    let r = run(&cfg, &SecurityProfile::tensor_tee(), &t);
+    assert!(
+        r.router_stats.get("scale_up") > 0,
+        "load must trigger scale-up: {}",
+        r.router_stats
+    );
+    assert!(
+        r.router_stats.get("warmups") > 0,
+        "cold starts must finish: {}",
+        r.router_stats
+    );
+    assert_eq!(r.completed_requests + r.rejected_requests, 160);
+    // Autoscaled fleet with cold starts completes no faster than a fully
+    // warm fleet of the same size.
+    let warm = run(&fleet(4), &SecurityProfile::tensor_tee(), &t);
+    assert!(r.makespan >= warm.makespan);
+}
+
+#[test]
+fn single_instance_never_migrates() {
+    let t = trace(48, 5);
+    let r = run(&fleet(1), &SecurityProfile::sgx_mgx(), &t);
+    assert_eq!(r.migrations, 0, "one instance, KV always home");
+    assert_eq!(r.handoff_exposed_time, Time::ZERO);
+}

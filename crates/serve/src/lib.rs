@@ -41,4 +41,6 @@ pub use config::{KvProtocol, KvSpec, SecurityProfile, ServeConfig};
 pub use kv::{KvPool, Residency};
 pub use report::ServeReport;
 pub use scheduler::simulate;
-pub use trace::{ArrivalProcess, Request, TraceConfig};
+pub use trace::{
+    ArrivalProcess, Diurnal, Request, SessionRequest, SessionTraceConfig, TraceConfig,
+};

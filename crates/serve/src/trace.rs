@@ -174,6 +174,235 @@ fn sample_len(rng: &mut SplitMix64, mean: u64, floor: u64) -> u64 {
     (rng.next_exp(mean as f64).round() as u64).clamp(lo, hi)
 }
 
+/// Deterministic diurnal rate modulation: a triangle wave around the base
+/// rate, so the *long-run* rate is unchanged while the instantaneous rate
+/// swings between `(1 - amplitude)` and `(1 + amplitude)` of it.
+///
+/// A triangle (rather than a sine) keeps the multiplier pure integer-free
+/// arithmetic on the phase — no transcendental library calls whose last
+/// bit could differ across platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Diurnal {
+    /// Length of one day in simulated seconds (compressed days are fine —
+    /// only the ratio to the trace span matters).
+    pub period_secs: f64,
+    /// Peak-to-base swing in `[0, 1)`; `0.6` means the peak rate is 1.6×
+    /// the base and the trough 0.4×.
+    pub amplitude: f64,
+}
+
+impl Diurnal {
+    /// A compressed day: `period_secs` long with the given swing.
+    pub fn new(period_secs: f64, amplitude: f64) -> Self {
+        assert!(
+            period_secs.is_finite() && period_secs > 0.0,
+            "diurnal period must be positive: {period_secs}"
+        );
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "diurnal amplitude must be in [0, 1): {amplitude}"
+        );
+        Diurnal {
+            period_secs,
+            amplitude,
+        }
+    }
+
+    /// Instantaneous rate multiplier at simulated second `t` — a triangle
+    /// wave with mean exactly 1 over a period (trough at phase 0, peak at
+    /// phase ½).
+    pub fn multiplier(&self, t_secs: f64) -> f64 {
+        let phase = (t_secs / self.period_secs).fract();
+        let tri = if phase < 0.5 {
+            4.0 * phase - 1.0
+        } else {
+            3.0 - 4.0 * phase
+        };
+        1.0 + self.amplitude * tri
+    }
+
+    /// The peak multiplier — the envelope rate used for thinning.
+    fn peak(&self) -> f64 {
+        1.0 + self.amplitude
+    }
+}
+
+/// One turn of a multi-tenant chat session: a [`Request`] plus the
+/// session bookkeeping a KV-aware router needs (who owns it, which turn
+/// it is, and how much KV context earlier turns already accumulated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct SessionRequest {
+    /// The underlying request (id is the index in arrival order).
+    pub request: Request,
+    /// Owning tenant (dense, `0..tenants`).
+    pub tenant: u32,
+    /// Globally unique session id (dense, in session-start order).
+    pub session: u64,
+    /// Zero-based turn index within the session.
+    pub turn: u32,
+    /// KV context carried in from previous turns of this session, in
+    /// tokens — what a migration must move over the wire.
+    pub context_tokens: u64,
+}
+
+impl SessionRequest {
+    /// Total KV context once this turn has fully generated.
+    pub fn context_after(&self) -> u64 {
+        self.context_tokens + self.request.final_context()
+    }
+}
+
+/// A deterministic multi-tenant session trace: session *starts* follow the
+/// configured arrival process (optionally diurnally modulated); each
+/// session then runs a geometric number of follow-up turns separated by
+/// exponential think times, with all per-session draws taken from its
+/// tenant's private [`SplitMix64::split`] sub-stream — so adding a tenant
+/// or resizing one tenant's mix never shifts another tenant's trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SessionTraceConfig {
+    /// Total requests (turns) in the trace; sessions whose later turns
+    /// fall past the cut are truncated, never reordered.
+    pub n_requests: u32,
+    /// Number of tenants sharing the fleet.
+    pub tenants: u32,
+    /// Session-start arrival process (aggregate across tenants).
+    pub arrivals: ArrivalProcess,
+    /// Optional diurnal modulation of the session-start rate.
+    pub diurnal: Option<Diurnal>,
+    /// Mean turns per session (geometric-ish, clamped to `[1, 4·mean]`).
+    pub turns_mean: u32,
+    /// Mean think time between consecutive turns of one session.
+    pub think_mean_secs: f64,
+    /// Mean prompt length per turn in tokens.
+    pub prompt_mean: u64,
+    /// Mean output length per turn in tokens.
+    pub output_mean: u64,
+    /// PRNG seed; every stochastic choice derives from it.
+    pub seed: u64,
+}
+
+impl SessionTraceConfig {
+    /// A Poisson session mix with the default zoo length shape.
+    pub fn poisson(n_requests: u32, rate_rps: f64, tenants: u32, seed: u64) -> Self {
+        SessionTraceConfig {
+            n_requests,
+            tenants: tenants.max(1),
+            arrivals: ArrivalProcess::Poisson { rate_rps },
+            diurnal: None,
+            turns_mean: 4,
+            think_mean_secs: 2.0,
+            prompt_mean: 512,
+            output_mean: 128,
+            seed,
+        }
+    }
+
+    /// Adds diurnal modulation to the session-start rate.
+    pub fn with_diurnal(mut self, diurnal: Diurnal) -> Self {
+        self.diurnal = Some(diurnal);
+        self
+    }
+
+    /// Switches session starts to a bursty process at the same long-run
+    /// rate.
+    pub fn with_bursty(mut self, burst: u32) -> Self {
+        self.arrivals = ArrivalProcess::Bursty {
+            rate_rps: self.arrivals.rate_rps(),
+            burst: burst.max(1),
+        };
+        self
+    }
+
+    /// The steady per-turn context growth (prompt + output means).
+    pub fn steady_tokens(&self) -> u64 {
+        self.prompt_mean + self.output_mean
+    }
+
+    /// Generates the session trace, sorted by arrival time, ids dense in
+    /// arrival order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrival rate is not finite and positive.
+    pub fn generate(&self) -> Vec<SessionRequest> {
+        let rate = self.arrivals.rate_rps();
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "arrival rate must be positive: {rate}"
+        );
+        let root = SplitMix64::new(self.seed);
+        // Named sub-streams: 0 = session-start gaps, 1 = diurnal thinning
+        // + tenant assignment; tenants own streams from TENANT_STREAM_BASE
+        // up, so the layout can grow without shifting anything.
+        let mut starts = root.split(0);
+        let mut mixer = root.split(1);
+        let mut tenant_rngs: Vec<SplitMix64> = (0..self.tenants.max(1))
+            .map(|t| root.split(TENANT_STREAM_BASE + u64::from(t)))
+            .collect();
+        let peak_rate = rate * self.diurnal.map_or(1.0, |d| d.peak());
+        let burst = match self.arrivals {
+            ArrivalProcess::Poisson { .. } => 1,
+            ArrivalProcess::Bursty { burst, .. } => burst.max(1),
+        };
+        let mut out: Vec<SessionRequest> = Vec::with_capacity(self.n_requests as usize);
+        let mut at = 0.0f64;
+        let mut session: u64 = 0;
+        let mut in_burst = 0u32;
+        while out.len() < self.n_requests as usize {
+            // Candidate session starts arrive at the peak-envelope rate;
+            // diurnal thinning accepts `rate(t)/peak` of them, which is
+            // exactly an inhomogeneous Poisson process at `rate(t)`.
+            if in_burst == 0 {
+                at += starts.next_exp(f64::from(burst) / peak_rate);
+            }
+            in_burst = (in_burst + 1) % burst;
+            if let Some(d) = self.diurnal {
+                if !mixer.next_bool(d.multiplier(at) / d.peak()) {
+                    continue;
+                }
+            }
+            let tenant = mixer.next_below(u64::from(self.tenants.max(1))) as u32;
+            let rng = &mut tenant_rngs[tenant as usize];
+            let turns = (rng.next_exp(f64::from(self.turns_mean)).round() as u32)
+                .clamp(1, self.turns_mean * 4);
+            let mut turn_at = at;
+            let mut context = 0u64;
+            for turn in 0..turns {
+                if turn > 0 {
+                    turn_at += rng.next_exp(self.think_mean_secs.max(1e-6));
+                }
+                let request = Request {
+                    id: 0, // reassigned after the arrival sort
+                    arrival: Time::from_secs_f64(turn_at),
+                    prompt_tokens: sample_len(rng, self.prompt_mean, 1),
+                    output_tokens: sample_len(rng, self.output_mean, 2),
+                };
+                out.push(SessionRequest {
+                    request,
+                    tenant,
+                    session,
+                    turn,
+                    context_tokens: context,
+                });
+                context += request.final_context();
+            }
+            session += 1;
+        }
+        // Arrival order with a total deterministic tie-break; truncation
+        // then only ever drops the latest turns, never reorders a session
+        // (turn times are monotone within one).
+        out.sort_by_key(|r| (r.request.arrival, r.session, r.turn));
+        out.truncate(self.n_requests as usize);
+        for (id, r) in out.iter_mut().enumerate() {
+            r.request.id = id as u32;
+        }
+        out
+    }
+}
+
+/// First tenant sub-stream id (streams 0/1 belong to the trace itself).
+const TENANT_STREAM_BASE: u64 = 16;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,6 +453,117 @@ mod tests {
     #[should_panic]
     fn zero_rate_rejected() {
         TraceConfig::poisson(1, 0.0, 1).generate();
+    }
+
+    #[test]
+    fn session_traces_are_deterministic() {
+        let cfg =
+            SessionTraceConfig::poisson(300, 6.0, 4, 42).with_diurnal(Diurnal::new(30.0, 0.6));
+        assert_eq!(cfg.generate(), cfg.generate());
+        let reseeded =
+            SessionTraceConfig::poisson(300, 6.0, 4, 43).with_diurnal(Diurnal::new(30.0, 0.6));
+        assert_ne!(cfg.generate(), reseeded.generate(), "seed matters");
+    }
+
+    #[test]
+    fn diurnal_multiplier_has_unit_mean_and_bounded_swing() {
+        let d = Diurnal::new(60.0, 0.8);
+        let n = 10_000;
+        let mean: f64 = (0..n)
+            .map(|i| d.multiplier(60.0 * i as f64 / n as f64))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 1.0).abs() < 1e-3, "triangle mean {mean}");
+        for i in 0..n {
+            let m = d.multiplier(60.0 * i as f64 / n as f64);
+            assert!(
+                (0.2 - 1e-9..=1.8 + 1e-9).contains(&m),
+                "multiplier {m} out of envelope"
+            );
+        }
+    }
+
+    #[test]
+    fn diurnal_session_starts_keep_the_long_run_rate() {
+        // Many compressed days, so the thinning averages out: the
+        // session-*start* rate must come back to the configured base.
+        let cfg = SessionTraceConfig {
+            turns_mean: 1,
+            ..SessionTraceConfig::poisson(4_000, 20.0, 3, 9)
+        }
+        .with_diurnal(Diurnal::new(10.0, 0.7));
+        let trace = cfg.generate();
+        let starts: Vec<&SessionRequest> = trace.iter().filter(|r| r.turn == 0).collect();
+        let span = trace.last().unwrap().request.arrival.as_secs_f64();
+        let rate = starts.len() as f64 / span;
+        assert!(
+            (rate - 20.0).abs() < 2.0,
+            "empirical session-start rate {rate} vs 20"
+        );
+    }
+
+    #[test]
+    fn sessions_accumulate_context_and_stay_ordered() {
+        let cfg = SessionTraceConfig::poisson(500, 8.0, 4, 5);
+        let trace = cfg.generate();
+        assert_eq!(trace.len(), 500);
+        assert!(trace
+            .windows(2)
+            .all(|w| w[0].request.arrival <= w[1].request.arrival));
+        for (i, r) in trace.iter().enumerate() {
+            assert_eq!(r.request.id, i as u32, "ids dense in arrival order");
+            assert!(r.tenant < 4);
+        }
+        // Per session: turns dense from 0, context = sum of earlier turns.
+        use std::collections::BTreeMap;
+        let mut per_session: BTreeMap<u64, Vec<&SessionRequest>> = BTreeMap::new();
+        for r in &trace {
+            per_session.entry(r.session).or_default().push(r);
+        }
+        let mut multi_turn = 0;
+        for turns in per_session.values() {
+            let mut context = 0u64;
+            for (k, r) in turns.iter().enumerate() {
+                assert_eq!(r.turn, k as u32, "turns dense per session");
+                assert_eq!(r.context_tokens, context, "context accumulates");
+                assert_eq!(r.context_after(), context + r.request.final_context());
+                context += r.request.final_context();
+            }
+            if turns.len() > 1 {
+                multi_turn += 1;
+            }
+        }
+        assert!(multi_turn > 10, "session mix has follow-up turns");
+    }
+
+    #[test]
+    fn tenant_sub_streams_are_isolated() {
+        // Same seed, different tenant count: tenant draws change (the mixer
+        // stream assigns them), but each *tenant's* parameter stream is a
+        // stable function of (seed, tenant id) — two configs that both
+        // route session 0 to tenant 0 draw identical session shapes.
+        let a = SessionTraceConfig::poisson(50, 5.0, 1, 77).generate();
+        let b = SessionTraceConfig::poisson(50, 5.0, 1, 77).generate();
+        assert_eq!(a, b);
+        // And a bursty mix at the same rate still lands its groups together.
+        let c = SessionTraceConfig {
+            turns_mean: 1,
+            ..SessionTraceConfig::poisson(400, 10.0, 2, 3)
+        }
+        .with_bursty(4);
+        let trace = c.generate();
+        let starts: Vec<Time> = trace
+            .iter()
+            .filter(|r| r.turn == 0)
+            .map(|r| r.request.arrival)
+            .collect();
+        let mut shared = 0;
+        for w in starts.windows(2) {
+            if w[0] == w[1] {
+                shared += 1;
+            }
+        }
+        assert!(shared > starts.len() / 3, "bursty starts share timestamps");
     }
 
     #[test]

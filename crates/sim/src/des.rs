@@ -180,6 +180,9 @@ pub struct Scheduler<C: Component> {
     events_processed: u64,
     /// Reused outbox buffer for [`Ctx`].
     outbox: Vec<(Time, ComponentId, C::Msg)>,
+    /// Reused delta-cycle batch buffer, so draining a timestamp does not
+    /// allocate per sub-round on the scheduler hot path.
+    batch: Vec<(Time, Event<C::Msg>)>,
 }
 
 impl<C: Component> Default for Scheduler<C> {
@@ -197,6 +200,7 @@ impl<C: Component> Scheduler<C> {
             armed: Vec::new(),
             events_processed: 0,
             outbox: Vec::new(),
+            batch: Vec::new(),
         }
     }
 
@@ -276,14 +280,16 @@ impl<C: Component> Scheduler<C> {
                 rounds <= MAX_DELTA_ROUNDS,
                 "same-time livelock: {MAX_DELTA_ROUNDS} sub-rounds at {t}"
             );
-            let mut batch = self.queue.pop_batch();
-            // The heap pops FIFO within a timestamp; a stable sort by
+            let mut batch = std::mem::take(&mut self.batch);
+            self.queue.pop_batch_into(&mut batch);
+            // The queue pops FIFO within a timestamp; a stable sort by
             // target id turns that into the deterministic
             // `(time, component_id)` dispatch order, FIFO per component.
             batch.sort_by_key(|(_, event)| event.target());
-            for (_, event) in batch {
+            for (_, event) in batch.drain(..) {
                 self.dispatch(t, event);
             }
+            self.batch = batch;
         }
     }
 

@@ -43,6 +43,6 @@ pub mod util;
 pub use bandwidth::{BandwidthResource, ThroughputPipe};
 pub use clock::{ClockDomain, Time};
 pub use des::{Component, ComponentId, Scheduler};
-pub use event::EventQueue;
+pub use event::{EventQueue, HeapQueue};
 pub use rng::SplitMix64;
 pub use stats::{Counter, Histogram, StatSet};

@@ -434,6 +434,58 @@ mod tests {
     }
 
     #[test]
+    fn histogram_merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        a.record(7);
+        a.record(900);
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, before, "merging an empty histogram must change nothing");
+        // And the other direction: an empty histogram absorbs the donor.
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn histogram_merge_disjoint_ranges() {
+        let mut low = Histogram::new();
+        for v in [1, 2, 3] {
+            low.record(v);
+        }
+        let mut high = Histogram::new();
+        for v in [1_000_000, 2_000_000] {
+            high.record(v);
+        }
+        low.merge(&high);
+        assert_eq!(low.count(), 5);
+        assert_eq!(low.sum(), 3_000_006);
+        assert_eq!((low.min(), low.max()), (Some(1), Some(2_000_000)));
+        // The merged histogram is exactly what recording the union gives.
+        let mut union = Histogram::new();
+        for v in [1, 2, 3, 1_000_000, 2_000_000] {
+            union.record(v);
+        }
+        assert_eq!(low, union);
+    }
+
+    #[test]
+    fn histogram_self_merge_doubles_counts_keeps_shape() {
+        let mut h = Histogram::new();
+        for v in [4, 4, 50, 700] {
+            h.record(v);
+        }
+        let snapshot = h.clone();
+        h.merge(&snapshot);
+        assert_eq!(h.count(), 2 * snapshot.count());
+        assert_eq!(h.sum(), 2 * snapshot.sum());
+        assert_eq!(h.min(), snapshot.min());
+        assert_eq!(h.max(), snapshot.max());
+        assert_eq!(h.mean(), snapshot.mean(), "doubling weights keeps the mean");
+        assert_eq!(h.percentile(0.5), snapshot.percentile(0.5));
+    }
+
+    #[test]
     fn statset_ratio() {
         let mut s = StatSet::new("t");
         s.add("hit", 80);

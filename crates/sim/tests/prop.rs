@@ -157,3 +157,68 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::ci())]
+
+    /// `Histogram::merge` is exactly "record the union": merging the
+    /// histogram of `b` into the histogram of `a` equals the histogram of
+    /// `a ++ b` — same counts, same moments, and therefore the same value
+    /// at every percentile.
+    #[test]
+    fn histogram_merge_is_record_union(
+        a in vec(0u64..2_000_000, 0..60),
+        b in vec(0u64..2_000_000, 0..60)
+    ) {
+        use tee_sim::Histogram;
+        let record_all = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let mut merged = record_all(&a);
+        merged.merge(&record_all(&b));
+        let union: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        let direct = record_all(&union);
+        prop_assert_eq!(&merged, &direct);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(merged.percentile(q), direct.percentile(q), "q = {}", q);
+        }
+    }
+
+    /// The calendar-backed [`tee_sim::EventQueue`] and the binary-heap
+    /// reference pop identical `(time, payload)` sequences for any
+    /// interleaving of schedules and pops — the bit-identity the DES
+    /// scheduler relies on, as a property over random workloads.
+    #[test]
+    fn calendar_queue_matches_heap_reference(
+        ops in vec((any::<bool>(), 0u64..5_000), 1..400)
+    ) {
+        use tee_sim::{EventQueue, HeapQueue};
+        let mut cal: EventQueue<u64> = EventQueue::new();
+        let mut heap: HeapQueue<u64> = HeapQueue::new();
+        let mut payload = 0u64;
+        for &(is_pop, delay) in &ops {
+            if is_pop {
+                prop_assert_eq!(cal.pop(), heap.pop());
+                prop_assert_eq!(cal.now(), heap.now());
+            } else {
+                // Schedule relative to "now" so the workload stays legal
+                // (never in the past) no matter how many pops happened.
+                let at = cal.now() + Time::from_ns(delay);
+                cal.schedule(at, payload);
+                heap.schedule(at, payload);
+                payload += 1;
+            }
+            prop_assert_eq!(cal.len(), heap.len());
+            prop_assert_eq!(cal.peek_time(), heap.peek_time());
+        }
+        // Drain: the full remaining order must agree too.
+        while let Some(got) = cal.pop() {
+            prop_assert_eq!(Some(got), heap.pop());
+        }
+        prop_assert_eq!(heap.pop(), None);
+    }
+}

@@ -96,6 +96,14 @@ def main():
                 "sweep", "scenario", base["sweeps"], fresh["sweeps"],
                 "median_ms", args.tolerance, args.slack_ms,
             )
+        ) + list(
+            # The event-queue microbench section (absent from baselines
+            # written before it existed — new entries enter the ratchet
+            # at the next re-baseline, same as new artifacts).
+            compare(
+                "queue", "queue", base.get("queues", []), fresh.get("queues", []),
+                "median_ms", args.tolerance, args.slack_ms,
+            )
         )
         for failed, message in checks:
             print(message)
@@ -110,6 +118,7 @@ def main():
         return 1
     print(
         f"ratchet OK: {len(base['artifacts'])} artifacts + {len(base['sweeps'])} sweeps "
+        f"+ {len(base.get('queues', []))} queues "
         f"within +{args.tolerance:.0%} of {base.get('rev', '?')}"
     )
     return 0

@@ -22,13 +22,23 @@ use tensortee::json::Json;
 use tensortee::perf::{BenchOptions, BenchTrajectory};
 use tensortee::report::{Report, Table};
 
-const USAGE: &str = "usage: tensortee <command>
+/// The explore scenarios as a `train|cluster|serve|...` list, derived
+/// from [`Scenario::all`] so the CLI text never drifts from the
+/// registered scenarios.
+fn scenario_list() -> String {
+    Scenario::all().map(|s| s.label()).join("|")
+}
+
+/// The usage text (a function so the scenario list stays derived).
+fn usage() -> String {
+    format!(
+        "usage: tensortee <command>
 
 commands:
   list                          list registered artifacts
   run <id>... [flags]           run specific artifacts
   run --all [flags]             run the whole registry
-  explore <train|cluster|serve|des> [flags]
+  explore <{scenarios}> [flags]
                                 sweep the scenario's hardware/security design
                                 space: Pareto frontier + tornado sensitivity
   bench [flags]                 time every artifact + the explore sweeps;
@@ -43,7 +53,10 @@ flags:
                  byte-identical for any N; default 4)
   --points <N>   explorer point budget (default 96, 32 under --fast)
   --repeats <N>  bench: timed repetitions per entry, reported as the
-                 median (default 3)";
+                 median (default 3)",
+        scenarios = scenario_list()
+    )
+}
 
 /// The flags shared by `run`, `explore` and `bench`, plus the positional
 /// args.
@@ -141,11 +154,11 @@ fn main() -> ExitCode {
         Some("explore") => explore(&args[1..]),
         Some("bench") => bench(&args[1..]),
         Some("--help" | "-h" | "help") => {
-            println!("{USAGE}");
+            println!("{}", usage());
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("{USAGE}");
+            eprintln!("{}", usage());
             ExitCode::from(2)
         }
     }
@@ -153,7 +166,7 @@ fn main() -> ExitCode {
 
 /// Prints `message`, the usage, and returns the CLI error code.
 fn usage_error(message: &str) -> ExitCode {
-    eprintln!("{message}\n\n{USAGE}");
+    eprintln!("{message}\n\n{}", usage());
     ExitCode::from(2)
 }
 
@@ -183,8 +196,9 @@ fn list() {
     println!("{}", table.to_markdown());
     println!(
         "{} artifacts; run one with `tensortee run <id>` (add --json / --fast), or sweep the \
-         design space with `tensortee explore <train|cluster|serve|des>`.",
-        registry().len()
+         design space with `tensortee explore <{}>`.",
+        registry().len(),
+        scenario_list()
     );
 }
 
@@ -289,11 +303,15 @@ fn explore(raw: &[String]) -> ExitCode {
         Err(e) => return usage_error(&e),
     };
     let [scenario_arg] = args.positional.as_slice() else {
-        return usage_error("explore needs exactly one scenario: train, cluster or serve");
+        return usage_error(&format!(
+            "explore needs exactly one scenario: {}",
+            scenario_list()
+        ));
     };
     let Some(scenario) = Scenario::parse(scenario_arg) else {
         return usage_error(&format!(
-            "unknown scenario {scenario_arg:?}; known: train, cluster, serve, des"
+            "unknown scenario {scenario_arg:?}; known: {}",
+            scenario_list()
         ));
     };
     let ctx = args.context();

@@ -2,7 +2,7 @@
 //! contract):
 //!
 //! * the JSON shape is well-formed per the hand-rolled `tensortee::json`
-//!   validator and carries one entry per registry artifact (floor ≥ 22),
+//!   validator and carries one entry per registry artifact (floor ≥ 24),
 //! * timings are the *only* floats — masking every `Json::Float` makes
 //!   two independent measurements byte-identical (what lets the CI
 //!   ratchet compare structure strictly and timings with a tolerance).
@@ -18,6 +18,7 @@ fn thin() -> RunContext {
     ctx.models.truncate(1); // GPT
     ctx.explore_points = 6;
     ctx.serve_requests = 8;
+    ctx.fleet_requests = 16;
     ctx.cluster_sizes = vec![1, 2];
     ctx
 }
@@ -49,15 +50,15 @@ fn trajectory_covers_the_registry_and_differs_only_in_timings() {
     let first = BenchTrajectory::measure(&ctx, &opts);
     let second = BenchTrajectory::measure(&ctx, &opts);
 
-    // One entry per registry artifact, in registry order, floor ≥ 22.
-    assert!(first.artifacts.len() >= 22, "{}", first.artifacts.len());
+    // One entry per registry artifact, in registry order, floor ≥ 24.
+    assert!(first.artifacts.len() >= 24, "{}", first.artifacts.len());
     assert_eq!(first.artifacts.len(), registry().len());
     for (timing, artifact) in first.artifacts.iter().zip(registry()) {
         assert_eq!(timing.id, artifact.id);
         assert!(timing.min_ms <= timing.median_ms && timing.median_ms <= timing.max_ms);
     }
-    // All three explore scenarios, each priced over the context budget.
-    assert_eq!(first.sweeps.len(), 4);
+    // All five explore scenarios, each priced over the context budget.
+    assert_eq!(first.sweeps.len(), 5);
     for sweep in &first.sweeps {
         assert_eq!(
             sweep.points, ctx.explore_points as usize,
@@ -66,6 +67,14 @@ fn trajectory_covers_the_registry_and_differs_only_in_timings() {
         );
         assert!(sweep.evaluations >= sweep.points, "{}", sweep.scenario);
         assert!(sweep.per_point_us >= 0.0);
+    }
+    // The event-queue microbench: calendar then its heap reference, both
+    // over the ≥ 10^6-event hold-model workload.
+    let queues: Vec<&str> = first.queues.iter().map(|q| q.queue).collect();
+    assert_eq!(queues, ["calendar", "heap"]);
+    for q in &first.queues {
+        assert!(q.events >= 1_000_000, "{}: {}", q.queue, q.events);
+        assert!(q.median_ms > 0.0 && q.per_event_ns > 0.0, "{}", q.queue);
     }
 
     // Well-formed per the hand-rolled validator, schema-tagged.

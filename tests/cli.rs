@@ -74,6 +74,23 @@ fn zero_flag_values_are_usage_errors() {
 }
 
 #[test]
+fn unknown_scenario_lists_the_valid_ones_and_exits_two() {
+    for args in [&["explore", "bogus"][..], &["explore"][..]] {
+        let out = tensortee(args);
+        assert_eq!(code(&out), 2, "{args:?} -> {out:?}");
+        assert!(out.stdout.is_empty(), "{args:?} produced output");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            stderr.contains("train|cluster|serve|des|fleet"),
+            "{args:?} stderr must list the valid scenarios: {stderr}"
+        );
+    }
+    let out = tensortee(&["explore", "bogus"]);
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown scenario \"bogus\""), "{stderr}");
+}
+
+#[test]
 fn bench_rejects_positional_arguments() {
     let out = tensortee(&["bench", "fig03"]);
     assert_eq!(code(&out), 2, "{out:?}");

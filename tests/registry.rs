@@ -10,7 +10,7 @@ use tensortee::json::{is_well_formed, Json};
 #[test]
 fn ids_unique_and_registry_complete() {
     let ids: Vec<&str> = registry().iter().map(|a| a.id).collect();
-    assert!(ids.len() >= 22, "registry shrank: {ids:?}");
+    assert!(ids.len() >= 24, "registry shrank: {ids:?}");
     let mut sorted = ids.clone();
     sorted.sort_unstable();
     sorted.dedup();
@@ -100,6 +100,8 @@ artifact_invariants! {
     ablations_fast_and_deterministic => "ablations",
     serve_latency_fast_and_deterministic => "serve_latency",
     serve_sweep_fast_and_deterministic => "serve_sweep",
+    fleet_latency_fast_and_deterministic => "fleet_latency",
+    fleet_handoff_fast_and_deterministic => "fleet_handoff",
     explore_pareto_fast_and_deterministic => "explore_pareto",
     explore_sensitivity_fast_and_deterministic => "explore_sensitivity",
 }
