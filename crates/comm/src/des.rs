@@ -17,6 +17,7 @@
 //! run reproduce the analytic fold bit-for-bit.
 
 use serde::Serialize;
+use tee_sim::probe::SharedProbe;
 use tee_sim::Time;
 
 /// Outcome of one [`FabricLink::occupy`] request.
@@ -38,12 +39,21 @@ pub struct FabricLink {
     contention: Time,
     occupied: Time,
     grants: u64,
+    probe: SharedProbe,
 }
 
 impl FabricLink {
     /// A free fabric at time zero.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Installs an observability probe: each grant emits a `fabric_xfer`
+    /// span on the `link` track covering `[start, end]`, plus grant and
+    /// queued-time counters. Grants are facts the arbitration already
+    /// decided, so recording them cannot change any outcome.
+    pub fn set_probe(&mut self, probe: SharedProbe) {
+        self.probe = probe;
     }
 
     /// Requests the fabric for `duration` starting no earlier than `at`;
@@ -67,6 +77,13 @@ impl FabricLink {
         self.contention += queued;
         self.occupied += duration;
         self.grants += 1;
+        if self.probe.enabled() {
+            self.probe.span("link", "fabric_xfer", start, end);
+            self.probe.count("link.grants", 1);
+            if queued > Time::ZERO {
+                self.probe.count("link.grant_queued_ps", queued.as_ps());
+            }
+        }
         FabricGrant { start, end, queued }
     }
 
@@ -130,6 +147,29 @@ mod tests {
         // 0 + 10 + 20 + 30 queued respectively.
         assert_eq!(fabric.contention(), Time::from_ns(60));
         assert_eq!(fabric.busy_until(), Time::from_ns(40));
+    }
+
+    #[test]
+    fn probed_grants_emit_spans_without_changing_grants() {
+        let run = |probe: Option<SharedProbe>| {
+            let mut fabric = FabricLink::new();
+            if let Some(p) = probe {
+                fabric.set_probe(p);
+            }
+            let a = fabric.occupy(Time::ZERO, Time::from_ns(100));
+            let b = fabric.occupy(Time::from_ns(30), Time::from_ns(50));
+            (a, b, fabric.contention(), fabric.occupied())
+        };
+        let recorder = SharedProbe::recording();
+        assert_eq!(run(None), run(Some(recorder.clone())));
+        let snap = recorder.snapshot().expect("recording");
+        assert_eq!(snap.metrics().get("link.grants"), 2);
+        assert_eq!(
+            snap.metrics().get("link.grant_queued_ps"),
+            Time::from_ns(70).as_ps()
+        );
+        assert_eq!(snap.events().len(), 2);
+        assert!(snap.events().iter().all(|e| e.track() == "link"));
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::experiments;
 use crate::report::Report;
 use crate::system::StepBreakdown;
 use crate::TrainingSystem;
+use tee_sim::probe::SharedProbe;
 use tee_workloads::zoo::{ModelConfig, TABLE2};
 
 /// Everything an artifact runner needs: the system/cluster configuration
@@ -71,6 +72,12 @@ pub struct RunContext {
     /// Whether this is the reduced (`--fast`) context; runners gate their
     /// most expensive sweeps on it.
     pub fast: bool,
+    /// Observability sink the runners hand to their simulators
+    /// ([`SharedProbe::Null`] by default). Probes only observe simulated
+    /// time, so reports are byte-identical whether or not a recording
+    /// probe is installed (pinned by a differential test over the
+    /// registry).
+    pub probe: SharedProbe,
 }
 
 impl RunContext {
@@ -98,6 +105,7 @@ impl RunContext {
             straggler_factors: vec![1.0, 1.1, 1.25, 1.5],
             pipeline_microbatches: vec![1, 2, 4, 8],
             fast: false,
+            probe: SharedProbe::Null,
         }
     }
 
@@ -165,6 +173,14 @@ impl RunContext {
         self
     }
 
+    /// Installs an observability probe (builder form; the CLI's `trace`
+    /// subcommand and `--trace` flag land here). Never changes results —
+    /// only what gets recorded alongside them.
+    pub fn with_probe(mut self, probe: SharedProbe) -> Self {
+        self.probe = probe;
+        self
+    }
+
     /// The paper's motivating model: GPT2-M when it is in the model
     /// subset, otherwise the first model.
     ///
@@ -190,12 +206,16 @@ impl RunContext {
     }
 
     /// Simulates one step of `model` under each mode of the sweep — the
-    /// mode-loop boilerplate the examples share.
+    /// mode-loop boilerplate the examples share. When a recording probe
+    /// is installed, each step's phases are laid over it as spans *after*
+    /// pricing (see [`crate::obs::emit_step_phases`]); the breakdowns are
+    /// identical either way.
     pub fn step_sweep(&self, model: &ModelConfig) -> Vec<(SecureMode, StepBreakdown)> {
         self.modes
             .iter()
             .map(|&mode| {
                 let step = TrainingSystem::new(self.cfg.clone(), mode).simulate_step(model);
+                crate::obs::emit_step_phases(&self.probe, mode, &step);
                 (mode, step)
             })
             .collect()
@@ -238,7 +258,7 @@ impl Artifact {
 }
 
 /// The registry, in paper presentation order.
-static REGISTRY: [Artifact; 24] = [
+static REGISTRY: [Artifact; 25] = [
     Artifact {
         id: "fig03",
         title: "CPU TEE slowdown vs. thread count",
@@ -403,6 +423,14 @@ static REGISTRY: [Artifact; 24] = [
         runner: |ctx| experiments::fleet_handoff(ctx).1,
     },
     Artifact {
+        id: "obs_utilization",
+        title: "Observability: component utilization and counter rollup",
+        paper_anchor: "extension (instrumented \u{a7}5.1/\u{a7}4.3 runs)",
+        claim: "per-component busy fractions, link queued-time, and KV/crypto counters \
+                rolled up from a recorded trace, without perturbing a single report byte",
+        runner: |ctx| crate::obs::obs_utilization(ctx),
+    },
+    Artifact {
         id: "explore_pareto",
         title: "Design-space exploration: Pareto frontier",
         paper_anchor: "extension (\u{a7}6 across the hardware space)",
@@ -435,7 +463,7 @@ mod tests {
 
     #[test]
     fn registry_covers_the_evaluation() {
-        assert!(registry().len() >= 24);
+        assert!(registry().len() >= 25);
         for id in [
             "fig03",
             "fig04",
@@ -459,6 +487,7 @@ mod tests {
             "serve_sweep",
             "fleet_latency",
             "fleet_handoff",
+            "obs_utilization",
             "explore_pareto",
             "explore_sensitivity",
         ] {

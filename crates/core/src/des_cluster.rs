@@ -31,6 +31,7 @@ use tee_comm::des::FabricLink;
 use tee_comm::protocol::{DirectProtocol, StagingProtocol, TransferBreakdown};
 use tee_comm::ring::{HopCost, RingAllReduce};
 use tee_sim::des::{Component, Ctx, Scheduler};
+use tee_sim::probe::SharedProbe;
 use tee_sim::Time;
 use tee_workloads::StepSchedule;
 
@@ -589,6 +590,18 @@ impl Component for Node {
         }
     }
 
+    fn label(&self) -> String {
+        match self {
+            Node::Npu(n) => format!("NPU{}", n.rank),
+            Node::Stage(s) => format!("NPU{}", s.stage),
+            Node::Ring(_) => "ring".to_string(),
+            Node::GradLink(_) => "link".to_string(),
+            Node::Cpu(_) => "CPU".to_string(),
+            Node::Weight(_) => "weights".to_string(),
+            Node::Finish(_) => "finish".to_string(),
+        }
+    }
+
     fn receive(&mut self, now: Time, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
         match self {
             Node::Ring(r) => r.receive(now, msg, ctx),
@@ -630,6 +643,7 @@ fn scale_duration(t: Time, factor: f64) -> Time {
 pub struct DesClusterSystem {
     sys: TrainingSystem,
     des: DesClusterConfig,
+    probe: SharedProbe,
 }
 
 impl DesClusterSystem {
@@ -652,7 +666,18 @@ impl DesClusterSystem {
         DesClusterSystem {
             sys: TrainingSystem::new(cfg, mode),
             des,
+            probe: SharedProbe::Null,
         }
+    }
+
+    /// Installs an observability probe (builder form). The scheduler gets
+    /// it for tick/send events, and [`Self::simulate_with_cpu_time`] lays
+    /// phase spans (per-rank compute, collective, gradient stream,
+    /// optimizer) over the finished ledger — emitted *after* the run, so
+    /// tracing cannot perturb a single timestamp.
+    pub fn with_probe(mut self, probe: SharedProbe) -> Self {
+        self.probe = probe;
+        self
     }
 
     /// The active mode.
@@ -750,7 +775,11 @@ impl DesClusterSystem {
             npu_done: vec![Time::ZERO; n as usize],
             ..Ledger::default()
         }));
-        let fabric: Shared<FabricLink> = Rc::new(RefCell::new(FabricLink::new()));
+        let fabric: Shared<FabricLink> = Rc::new(RefCell::new({
+            let mut link = FabricLink::new();
+            link.set_probe(self.probe.clone());
+            link
+        }));
 
         // Component ids: ranks 0..n, then ring, grad link, cpu, weight,
         // finish — the (time, id) tie-break dispatches ranks first.
@@ -852,7 +881,11 @@ impl DesClusterSystem {
             npu_done: vec![Time::ZERO; n as usize],
             ..Ledger::default()
         }));
-        let fabric: Shared<FabricLink> = Rc::new(RefCell::new(FabricLink::new()));
+        let fabric: Shared<FabricLink> = Rc::new(RefCell::new({
+            let mut link = FabricLink::new();
+            link.set_probe(self.probe.clone());
+            link
+        }));
 
         let ring_id = n as usize;
         let grad_id = ring_id + 1;
@@ -999,6 +1032,7 @@ impl DesClusterSystem {
         fabric: Shared<FabricLink>,
         cpu: Time,
     ) -> DesStepReport {
+        sched.set_probe(self.probe.clone());
         sched.run();
         let events = sched.events_processed();
         drop(sched);
@@ -1022,6 +1056,38 @@ impl DesClusterSystem {
             comm_g,
             comm_ar,
         };
+        if self.probe.enabled() {
+            // Phase spans are laid over the finished ledger — pure
+            // observation of timestamps the run already stamped.
+            let mode = self.mode().label();
+            for (rank, done) in ledger.npu_done.iter().enumerate() {
+                self.probe.span(
+                    &format!("NPU{rank}"),
+                    &format!("compute [{mode}]"),
+                    Time::ZERO,
+                    *done,
+                );
+            }
+            if ledger.ar_end > ledger.ring_start {
+                self.probe
+                    .span("ring", "all_reduce", ledger.ring_start, ledger.ar_end);
+            }
+            if ledger.grad_end > ledger.ar_end {
+                self.probe
+                    .span("link", "grad_stream", ledger.ar_end, ledger.grad_end);
+            }
+            self.probe
+                .span("CPU", "optimizer", ledger.cpu_start, ledger.cpu_start + cpu);
+            self.probe
+                .instant("weights", "weights_ready", ledger.weight_end);
+            self.probe.instant("CPU", "step_end", ledger.step_end);
+            self.probe.count("cluster.steps", 1);
+            self.probe.count("cluster.crypto_ps", ledger.crypto.as_ps());
+            self.probe
+                .count("link.queued_ps", fabric.contention().as_ps());
+            self.probe
+                .count("link.occupied_ps", fabric.occupied().as_ps());
+        }
         DesStepReport {
             breakdown,
             makespan: ledger.step_end,
@@ -1137,6 +1203,32 @@ mod tests {
             .simulate_with_cpu_time(&schedule, CPU)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_the_report() {
+        let model = by_name("GPT").unwrap();
+        let schedule = StepSchedule::of(&model);
+        let run = |probe: SharedProbe| {
+            DesClusterSystem::new(
+                fast(),
+                DesClusterConfig::lockstep(ClusterConfig::of(4)).with_straggler(1.25),
+                SecureMode::SgxMgx,
+            )
+            .with_probe(probe)
+            .simulate_with_cpu_time(&schedule, CPU)
+        };
+        let recorder = SharedProbe::recording();
+        assert_eq!(run(SharedProbe::Null), run(recorder.clone()));
+        let snap = recorder.snapshot().expect("recording probe");
+        assert!(snap.metrics().get("cluster.steps") == 1);
+        assert!(snap.metrics().get("cluster.crypto_ps") > 0);
+        for track in ["NPU0", "NPU3", "ring", "link", "CPU"] {
+            assert!(
+                snap.events().iter().any(|e| e.track() == track),
+                "missing track {track}"
+            );
+        }
     }
 
     #[test]

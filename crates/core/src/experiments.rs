@@ -15,12 +15,12 @@ use tee_comm::protocol::{DirectProtocol, StagingProtocol};
 use tee_comm::schedule::{overlapped_time, serialized_time, Timeline};
 use tee_cpu::analyzer::TenAnalyzerConfig;
 use tee_cpu::{AdamWorkload, CpuEngine, GemmWorkload, SoftVnConfig, TeeMode};
-use tee_fleet::{simulate as fleet_simulate, FleetConfig, FleetReport, Policy};
+use tee_fleet::{simulate_probed as fleet_simulate, FleetConfig, FleetReport, Policy};
 use tee_npu::engine::Layer as NpuLayer;
 use tee_npu::mac::figure20_sweep;
 use tee_npu::NpuEngine;
 use tee_serve::{
-    simulate, SecurityProfile, ServeConfig, ServeReport, SessionTraceConfig, TraceConfig,
+    simulate_probed, SecurityProfile, ServeConfig, ServeReport, SessionTraceConfig, TraceConfig,
 };
 use tee_sim::Time;
 use tee_workloads::census::TensorCensus;
@@ -907,6 +907,7 @@ pub fn des_parity(ctx: &RunContext) -> (Vec<DesParityRow>, Report) {
                 DesClusterConfig::lockstep(ctx.cluster_of(n)),
                 mode,
             )
+            .with_probe(ctx.probe.clone())
             .simulate_with_cpu_time(&schedule, cpu);
             let row = DesParityRow {
                 n_npus: n,
@@ -994,6 +995,7 @@ pub fn des_straggler(ctx: &RunContext) -> (Vec<DesStragglerRow>, Report) {
                 DesClusterConfig::lockstep(ctx.cluster_of(n)).with_straggler(factor),
                 mode,
             )
+            .with_probe(ctx.probe.clone())
             .simulate_with_cpu_time(&schedule, cpu);
             table.row([
                 mode.label().to_string(),
@@ -1068,6 +1070,7 @@ pub fn des_pipeline(ctx: &RunContext) -> (Vec<DesPipelineRow>, Report) {
                 DesClusterConfig::lockstep(ctx.cluster_of(n)).with_pipeline(m),
                 mode,
             )
+            .with_probe(ctx.probe.clone())
             .simulate_with_cpu_time(&schedule, cpu);
             let row = DesPipelineRow {
                 mode,
@@ -1180,7 +1183,7 @@ pub fn serve_latency(ctx: &RunContext) -> (Vec<ServeRow>, Report) {
         .iter()
         .map(|&mode| ServeRow {
             mode,
-            report: simulate(&cfg, &model, &serve_profile(mode), &trace),
+            report: simulate_probed(&cfg, &model, &serve_profile(mode), &trace, &ctx.probe),
         })
         .collect();
     let mut table = Table::new([
@@ -1272,7 +1275,8 @@ pub fn serve_sweep(ctx: &RunContext) -> (Vec<ServeSweepRow>, Report) {
             trace_cfg.output_mean = base_trace.output_mean;
             let trace = trace_cfg.generate();
             for &mode in &ctx.modes {
-                let report = simulate(&cfg, &model, &serve_profile(mode), &trace);
+                let report =
+                    simulate_probed(&cfg, &model, &serve_profile(mode), &trace, &ctx.probe);
                 table.row([
                     format!("{:.1}x", factor),
                     trace_cfg.arrivals.label().to_string(),
@@ -1322,7 +1326,7 @@ pub fn serve_sweep(ctx: &RunContext) -> (Vec<ServeSweepRow>, Report) {
 /// The shared fleet setup: the primary model served by
 /// [`RunContext::fleet_instances`] continuous-batching instances, and the
 /// seeded multi-tenant session trace both fleet artifacts replay.
-fn fleet_setup(ctx: &RunContext) -> (ModelConfig, FleetConfig, SessionTraceConfig) {
+pub(crate) fn fleet_setup(ctx: &RunContext) -> (ModelConfig, FleetConfig, SessionTraceConfig) {
     let model = ctx.primary_model();
     let mut trace = SessionTraceConfig::poisson(
         ctx.fleet_requests,
@@ -1370,7 +1374,7 @@ pub fn fleet_latency(ctx: &RunContext) -> (Vec<FleetRow>, Report) {
         .map(|&mode| FleetRow {
             policy: Policy::KvAware,
             mode,
-            report: fleet_simulate(&cfg, &model, &serve_profile(mode), &trace),
+            report: fleet_simulate(&cfg, &model, &serve_profile(mode), &trace, &ctx.probe),
         })
         .collect();
     let mut table = Table::new([
@@ -1452,7 +1456,7 @@ pub fn fleet_handoff(ctx: &RunContext) -> (Vec<FleetRow>, Report) {
     for policy in Policy::all() {
         let run_cfg = cfg.clone().with_policy(policy);
         for &mode in &ctx.modes {
-            let report = fleet_simulate(&run_cfg, &model, &serve_profile(mode), &trace);
+            let report = fleet_simulate(&run_cfg, &model, &serve_profile(mode), &trace, &ctx.probe);
             table.row([
                 policy.label().to_string(),
                 mode.label().to_string(),

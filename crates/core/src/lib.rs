@@ -42,6 +42,7 @@ pub mod experiments;
 pub mod explore;
 pub mod hw;
 pub mod json;
+pub mod obs;
 pub mod perf;
 pub mod report;
 pub mod session;

@@ -16,11 +16,14 @@
 //! suite pins exactly that).
 
 use crate::artifact::{registry, RunContext};
+use crate::des_cluster::{DesClusterConfig, DesClusterSystem};
 use crate::explore::{run_scenario, Scenario};
 use crate::json::Json;
 use crate::report::Table;
 use std::time::Instant;
+use tee_sim::probe::SharedProbe;
 use tee_sim::{EventQueue, HeapQueue, SplitMix64, Time};
+use tee_workloads::StepSchedule;
 
 /// The `schema` tag carried by every `BENCH_<rev>.json`.
 pub const SCHEMA: &str = "tensortee-bench/v1";
@@ -91,6 +94,21 @@ pub struct QueueTiming {
     pub per_event_ns: f64,
 }
 
+/// Wall-clock timing of the probe-overhead microbench: the DES cluster
+/// step simulated with the observability layer off (`null`) and
+/// recording (`trace`). The gap between the two rows is the cost of
+/// tracing; the `null` row ratchets the zero-overhead-when-off claim.
+#[derive(Debug, Clone)]
+pub struct ProbeTiming {
+    /// Probe mode (`null` / `trace`).
+    pub probe: &'static str,
+    /// Probe events recorded per repetition (0 for `null`); deterministic
+    /// for a fixed context, so this is a structural field.
+    pub events: u64,
+    /// Median wall time, milliseconds.
+    pub median_ms: f64,
+}
+
 /// One measured point on the repo's perf trajectory.
 #[derive(Debug, Clone)]
 pub struct BenchTrajectory {
@@ -115,6 +133,9 @@ pub struct BenchTrajectory {
     /// Event-queue microbench: the calendar queue the DES scheduler runs
     /// on vs. the binary-heap reference, same synthetic workload.
     pub queues: Vec<QueueTiming>,
+    /// Probe-overhead microbench: the DES cluster step with observability
+    /// off vs. recording, same schedule.
+    pub probes: Vec<ProbeTiming>,
 }
 
 /// Events per queue-microbench repetition: the acceptance bar for the
@@ -195,6 +216,53 @@ fn measure_queues(opts: &BenchOptions) -> Vec<QueueTiming> {
             events,
             median_ms,
             per_event_ns: median_ms * 1e6 / events as f64,
+        });
+    }
+    out
+}
+
+/// Times the DES cluster step with tracing off and on. The workload
+/// mirrors the `obs_utilization` artifact: the context's largest cluster
+/// running the primary model one full step under TensorTEE.
+fn measure_probes(ctx: &RunContext, opts: &BenchOptions) -> Vec<ProbeTiming> {
+    let model = ctx.primary_model();
+    let schedule = StepSchedule::of(&model);
+    let n = ctx.cluster_sizes.iter().copied().max().unwrap_or(4).max(2);
+    let cpu = Time::from_ms(25);
+    let simulate = |probe: &SharedProbe| {
+        let des = DesClusterSystem::new(
+            ctx.cfg.clone(),
+            DesClusterConfig::lockstep(ctx.cluster_of(n)),
+            crate::SecureMode::TensorTee,
+        )
+        .with_probe(probe.clone())
+        .simulate_with_cpu_time(&schedule, cpu);
+        std::hint::black_box(des);
+    };
+    let mut out = Vec::new();
+    for mode in ["null", "trace"] {
+        let probe_of = || {
+            if mode == "null" {
+                SharedProbe::Null
+            } else {
+                SharedProbe::recording()
+            }
+        };
+        for _ in 0..opts.warmup {
+            simulate(&probe_of());
+        }
+        // Event count is structural: re-record once outside the timers.
+        let counted = probe_of();
+        simulate(&counted);
+        let events = counted
+            .snapshot()
+            .map(|s| s.events().len() as u64)
+            .unwrap_or(0);
+        let samples = time_repeats(opts.repeats, || simulate(&probe_of()));
+        out.push(ProbeTiming {
+            probe: mode,
+            events,
+            median_ms: median(&samples),
         });
     }
     out
@@ -299,6 +367,10 @@ impl BenchTrajectory {
             eprintln!("bench event queues (calendar vs heap) ...");
         }
         let queues = measure_queues(opts);
+        if opts.progress {
+            eprintln!("bench probe overhead (null vs trace) ...");
+        }
+        let probes = measure_probes(ctx, opts);
         BenchTrajectory {
             rev: detect_rev(),
             profile: if ctx.fast { "fast" } else { "full" },
@@ -310,6 +382,7 @@ impl BenchTrajectory {
             artifacts,
             sweeps,
             queues,
+            probes,
         }
     }
 
@@ -381,6 +454,21 @@ impl BenchTrajectory {
                         .collect(),
                 ),
             ),
+            (
+                "probes",
+                Json::Array(
+                    self.probes
+                        .iter()
+                        .map(|p| {
+                            Json::object([
+                                ("probe", Json::str(p.probe)),
+                                ("events", Json::Int(p.events as i64)),
+                                ("median_ms", Json::Float(p.median_ms)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -428,6 +516,19 @@ impl BenchTrajectory {
             }
             out.push_str(&queues.to_markdown());
         }
+        if !self.probes.is_empty() {
+            out.push('\n');
+            let mut probes = Table::new(["probe", "events", "median"])
+                .captioned("Probe overhead (DES cluster step)");
+            for p in &self.probes {
+                probes.row([
+                    p.probe.to_string(),
+                    p.events.to_string(),
+                    format!("{:.1} ms", p.median_ms),
+                ]);
+            }
+            out.push_str(&probes.to_markdown());
+        }
         out
     }
 }
@@ -464,6 +565,7 @@ mod tests {
             artifacts: vec![],
             sweeps: vec![],
             queues: vec![],
+            probes: vec![],
         };
         assert_eq!(t.file_name(), "BENCH_abc123.json");
         let json = t.to_json().to_string();
@@ -497,6 +599,26 @@ mod tests {
         for t in &timings {
             assert_eq!(t.events, QUEUE_BENCH_EVENTS);
             assert!(t.median_ms > 0.0 && t.per_event_ns > 0.0);
+        }
+    }
+
+    #[test]
+    fn probe_bench_records_events_only_when_tracing() {
+        let mut ctx = RunContext::fast();
+        ctx.cluster_sizes = vec![1, 2];
+        let opts = BenchOptions {
+            repeats: 1,
+            warmup: 0,
+            progress: false,
+        };
+        let timings = measure_probes(&ctx, &opts);
+        assert_eq!(timings.len(), 2);
+        assert_eq!(timings[0].probe, "null");
+        assert_eq!(timings[1].probe, "trace");
+        assert_eq!(timings[0].events, 0, "null probe must record nothing");
+        assert!(timings[1].events > 0, "trace probe recorded nothing");
+        for t in &timings {
+            assert!(t.median_ms >= 0.0 && t.median_ms.is_finite());
         }
     }
 

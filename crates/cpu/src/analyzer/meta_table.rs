@@ -14,7 +14,8 @@ use crate::tensor::TensorDesc;
 use std::collections::HashSet;
 use tee_crypto::MacTag;
 use tee_mem::LINE_BYTES;
-use tee_sim::StatSet;
+use tee_sim::probe::SharedProbe;
+use tee_sim::{StatSet, Time};
 
 /// Geometry of one detected tensor region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -269,6 +270,7 @@ pub struct MetaTable {
     slots: Vec<Option<MetaEntry>>,
     tick: u64,
     stats: StatSet,
+    probe: SharedProbe,
 }
 
 impl MetaTable {
@@ -283,7 +285,15 @@ impl MetaTable {
             slots: (0..capacity).map(|_| None).collect(),
             tick: 0,
             stats: StatSet::new("meta_table"),
+            probe: SharedProbe::Null,
         }
+    }
+
+    /// Attaches an observability probe. Assert1 violations are reported as
+    /// `CPU` instants (timestamped by the table's access ordinal — the
+    /// table has no wall clock) and a `cpu.assert1_violations` counter.
+    pub fn set_probe(&mut self, probe: SharedProbe) {
+        self.probe = probe;
     }
 
     /// Slot capacity.
@@ -439,6 +449,11 @@ impl MetaTable {
 
         // Assert1: each cacheline updates at most once per round.
         if e.flipped.contains(&ordinal) {
+            if self.probe.enabled() {
+                self.probe
+                    .instant("CPU", "assert1_violation", Time::from_ps(tick));
+                self.probe.count("cpu.assert1_violations", 1);
+            }
             if std::env::var_os("TT_DEBUG_VIOLATIONS").is_some() {
                 eprintln!(
                     "assert1: va={va:#x} base={:#x} lines={} flipped={} updating={}",
@@ -839,6 +854,27 @@ mod tests {
         t.lookup_write(64);
         assert_eq!(t.lookup_write(64), WriteLookup::Violation);
         assert_eq!(t.len(), 0, "entry invalidated");
+    }
+
+    #[test]
+    fn probed_violation_emits_instant_and_counter() {
+        let probe = SharedProbe::recording();
+        let mut t = MetaTable::new(8);
+        t.set_probe(probe.clone());
+        t.insert(MetaEntry::new_1d(0, 4, 64, 0));
+        t.lookup_write(0);
+        t.lookup_write(64);
+        assert_eq!(t.lookup_write(64), WriteLookup::Violation);
+        // Same outcome as the unprobed test above — the probe only reports.
+        assert_eq!(t.len(), 0, "entry invalidated");
+        assert_eq!(t.stats().get("violation_assert1"), 1);
+        let snap = probe.snapshot().unwrap();
+        assert_eq!(snap.metrics().get("cpu.assert1_violations"), 1);
+        assert!(snap.events().iter().any(|e| matches!(
+            e,
+            tee_sim::probe::ProbeEvent::Instant { track, name, .. }
+                if track == "CPU" && name == "assert1_violation"
+        )));
     }
 
     #[test]

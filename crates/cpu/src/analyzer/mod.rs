@@ -140,6 +140,12 @@ impl TenAnalyzer {
         self.cfg.enabled
     }
 
+    /// Attaches an observability probe to the Meta Table so protocol
+    /// violations surface as trace instants and counters.
+    pub fn set_probe(&mut self, probe: tee_sim::probe::SharedProbe) {
+        self.table.set_probe(probe);
+    }
+
     /// The Meta Table (hit statistics, entry inspection).
     pub fn table(&self) -> &MetaTable {
         &self.table

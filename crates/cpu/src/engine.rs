@@ -201,6 +201,14 @@ impl CpuEngine {
         self.analyzer.as_ref()
     }
 
+    /// Attaches an observability probe to the TenAnalyzer (no-op in other
+    /// TEE modes). Probes only observe — engine results are unchanged.
+    pub fn set_probe(&mut self, probe: tee_sim::probe::SharedProbe) {
+        if let Some(a) = self.analyzer.as_mut() {
+            a.set_probe(probe);
+        }
+    }
+
     /// The memory controller (traffic statistics).
     pub fn mc(&self) -> &MemoryController {
         &self.mc

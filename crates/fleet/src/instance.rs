@@ -14,6 +14,7 @@ use crate::sim::Msg;
 use std::collections::VecDeque;
 use tee_serve::SessionRequest;
 use tee_sim::des::{Component, Ctx};
+use tee_sim::probe::SharedProbe;
 use tee_sim::{Histogram, Time};
 
 /// An admitted turn working through prefill + decode iterations.
@@ -87,6 +88,7 @@ pub struct Instance {
     stall_until: Time,
     /// Metrics, exposed to the fleet collector after the run.
     pub metrics: InstanceMetrics,
+    probe: SharedProbe,
 }
 
 impl Instance {
@@ -111,7 +113,20 @@ impl Instance {
             wake: Time::MAX,
             stall_until: Time::ZERO,
             metrics: InstanceMetrics::new(),
+            probe: SharedProbe::Null,
         }
+    }
+
+    /// Installs an observability probe: each launched iteration emits a
+    /// span on this instance's `NPU<index>` track.
+    pub fn with_probe(mut self, probe: SharedProbe) -> Self {
+        self.probe = probe;
+        self
+    }
+
+    /// Fleet index of this instance (component id is `index + 1`).
+    pub fn index(&self) -> usize {
+        self.index
     }
 
     /// Admits waiting turns (batch slots + prefill token budget, head
@@ -164,6 +179,16 @@ impl Instance {
         self.metrics.busy_time += dt;
         self.busy = true;
         self.wake = now + dt;
+        if self.probe.enabled() {
+            let name = match (prefills.is_empty(), r) {
+                (false, 0) => "prefill",
+                (true, _) => "decode",
+                _ => "mixed",
+            };
+            self.probe
+                .span(&format!("NPU{}", self.index), name, now, self.wake);
+            self.probe.count("fleet.iterations", 1);
+        }
     }
 
     /// Applies a finished iteration: every running turn produced one

@@ -50,4 +50,4 @@ pub mod sim;
 pub use config::{AutoscaleConfig, FleetConfig, Policy};
 pub use cost::IterCost;
 pub use report::FleetReport;
-pub use sim::{simulate, Msg, Node};
+pub use sim::{simulate, simulate_probed, Msg, Node};

@@ -7,6 +7,7 @@ use crate::sim::Msg;
 use std::collections::BTreeMap;
 use tee_serve::{KvProtocol, SessionRequest};
 use tee_sim::des::{Component, Ctx};
+use tee_sim::probe::SharedProbe;
 use tee_sim::{StatSet, Time};
 
 /// Lifecycle of one instance as the router sees it.
@@ -63,6 +64,7 @@ pub struct Router {
     handoff_setup: Time,
     handoff_exposed: Time,
     stats: StatSet,
+    probe: SharedProbe,
 }
 
 impl Router {
@@ -106,7 +108,16 @@ impl Router {
             handoff_setup: Time::ZERO,
             handoff_exposed: Time::ZERO,
             stats: StatSet::new("router"),
+            probe: SharedProbe::Null,
         }
+    }
+
+    /// Installs an observability probe: routing, migration, eviction and
+    /// autoscale decisions emit instants/spans; probes never change a
+    /// decision.
+    pub fn with_probe(mut self, probe: SharedProbe) -> Self {
+        self.probe = probe;
+        self
     }
 
     fn routable(&self, i: usize) -> bool {
@@ -150,13 +161,21 @@ impl Router {
 
     /// Routes one arrival: placement, migration pricing, dispatch.
     fn route(&mut self, now: Time, req: SessionRequest, ctx: &mut Ctx<'_, Msg>) {
-        let _ = now;
+        if self.probe.enabled() {
+            // The frontend (host CPU) hands the turn to the router — the
+            // same `CPU`-track arrival convention tee-serve uses.
+            self.probe.instant("CPU", "arrival", now);
+        }
         if req.turn > 0 {
             self.stats.bump("follow_up_turns");
         }
         let Some(dest) = self.place(&req) else {
             self.rejected += 1;
             self.stats.bump("rejected");
+            if self.probe.enabled() {
+                self.probe.instant("router", "reject", now);
+                self.probe.count("fleet.rejected", 1);
+            }
             return;
         };
         let dest_id = dest + 1;
@@ -184,6 +203,15 @@ impl Router {
             self.handoff_transfer += transfer;
             self.handoff_setup += setup;
             self.handoff_exposed += exposed;
+            if self.probe.enabled() {
+                self.probe
+                    .span("link", "kv_handoff", now, now + setup + transfer);
+                if home == Some(KvLoc::Evicted) {
+                    self.probe.instant("CPU", "kv_fetch", now);
+                }
+                self.probe.count("fleet.migrations", 1);
+                self.probe.count("fleet.migrated_bytes", bytes);
+            }
             if exposed > Time::ZERO {
                 ctx.send(dest_id, Msg::Stall(exposed));
             }
@@ -194,17 +222,31 @@ impl Router {
             }
             ctx.send(dest_id, Msg::Dispatch(req));
         }
+        if self.probe.enabled() {
+            self.probe
+                .instant("router", &format!("dispatch->NPU{dest}"), now);
+            self.probe.count("fleet.dispatched", 1);
+        }
         self.outstanding[dest] += 1;
         self.sessions.insert(req.session, KvLoc::On(dest));
     }
 
     /// Parks a drained instance, evicting its resident session KV.
-    fn park(&mut self, i: usize) {
+    fn park(&mut self, now: Time, i: usize) {
         self.state[i] = InstState::Parked;
         self.stats.bump("parks");
+        let mut evicted = 0u64;
         for loc in self.sessions.values_mut() {
             if *loc == KvLoc::On(i) {
                 *loc = KvLoc::Evicted;
+                evicted += 1;
+            }
+        }
+        if self.probe.enabled() {
+            self.probe.instant("router", &format!("park NPU{i}"), now);
+            if evicted > 0 {
+                self.probe.instant("CPU", "kv_evict", now);
+                self.probe.count("fleet.kv_evictions", evicted);
             }
         }
     }
@@ -231,6 +273,11 @@ impl Router {
             {
                 self.state[parked] = InstState::Warming;
                 self.stats.bump("scale_up");
+                if self.probe.enabled() {
+                    self.probe
+                        .instant("router", &format!("scale_up NPU{parked}"), now);
+                    self.probe.count("fleet.scale_ups", 1);
+                }
                 ctx.send_after(scale.cold_start, ctx.self_id(), Msg::Warmed(parked));
             }
         } else if mean < scale.low_outstanding && active.len() > self.min_active {
@@ -242,11 +289,15 @@ impl Router {
                 .expect("active checked non-empty");
             self.state[drain] = InstState::Draining;
             self.stats.bump("scale_down");
+            if self.probe.enabled() {
+                self.probe
+                    .instant("router", &format!("scale_down NPU{drain}"), now);
+                self.probe.count("fleet.scale_downs", 1);
+            }
             if self.outstanding[drain] == 0 {
-                self.park(drain);
+                self.park(now, drain);
             }
         }
-        let _ = now;
     }
 
     /// Drains accounting into the fleet report fields.
@@ -307,7 +358,7 @@ impl Component for Router {
                 self.outstanding[instance] -= 1;
                 self.completed += 1;
                 if self.state[instance] == InstState::Draining && self.outstanding[instance] == 0 {
-                    self.park(instance);
+                    self.park(now, instance);
                 }
                 if self.finished() {
                     self.scale_wake = Time::MAX;

@@ -9,6 +9,7 @@ use crate::router::Router;
 use tee_serve::config::{KvSpec, SecurityProfile};
 use tee_serve::SessionRequest;
 use tee_sim::des::{Component, Ctx, Scheduler};
+use tee_sim::probe::SharedProbe;
 use tee_sim::{Histogram, Time};
 use tee_workloads::zoo::ModelConfig;
 
@@ -65,6 +66,13 @@ impl Component for Node {
             Node::Instance(i) => i.receive(now, msg, ctx),
         }
     }
+
+    fn label(&self) -> String {
+        match self {
+            Node::Router(_) => "router".to_string(),
+            Node::Instance(i) => format!("NPU{}", i.index()),
+        }
+    }
 }
 
 /// Simulates serving `trace` on the fleet under one security profile.
@@ -82,28 +90,64 @@ pub fn simulate(
     profile: &SecurityProfile,
     trace: &[SessionRequest],
 ) -> FleetReport {
+    simulate_probed(cfg, model, profile, trace, &SharedProbe::Null)
+}
+
+/// [`simulate`] with an observability probe: routing, migration and
+/// autoscale decisions emit instants on the `router` track, KV handoffs
+/// emit `link` spans and `CPU` evict/fetch instants, and each instance's
+/// iterations emit spans on its `NPU<i>` track. The report is
+/// byte-identical to the unprobed run — probes only observe.
+///
+/// # Panics
+///
+/// Panics if the fleet or trace configuration is internally
+/// inconsistent (zero instances, zero batch slots).
+pub fn simulate_probed(
+    cfg: &FleetConfig,
+    model: &ModelConfig,
+    profile: &SecurityProfile,
+    trace: &[SessionRequest],
+    probe: &SharedProbe,
+) -> FleetReport {
     let kv = KvSpec::of(model);
     let cost = IterCost::calibrate(model, profile);
     let mut sched: Scheduler<Node> = Scheduler::new();
-    let router_id = sched.add(Node::Router(Box::new(Router::new(
-        cfg,
-        kv.bytes_per_token,
-        profile.kv_protocol,
-        trace.len() as u32,
-    ))));
+    sched.set_probe(probe.clone());
+    let router_id = sched.add(Node::Router(Box::new(
+        Router::new(
+            cfg,
+            kv.bytes_per_token,
+            profile.kv_protocol,
+            trace.len() as u32,
+        )
+        .with_probe(probe.clone()),
+    )));
     for i in 0..cfg.n_instances {
-        sched.add(Node::Instance(Box::new(Instance::new(
-            i,
-            router_id,
-            cost,
-            cfg.serve.max_batch,
-            cfg.serve.prefill_token_budget,
-        ))));
+        sched.add(Node::Instance(Box::new(
+            Instance::new(
+                i,
+                router_id,
+                cost,
+                cfg.serve.max_batch,
+                cfg.serve.prefill_token_budget,
+            )
+            .with_probe(probe.clone()),
+        )));
     }
     for r in trace {
         sched.send_at(r.request.arrival, router_id, Msg::Arrive(*r));
     }
     let makespan = sched.run();
+    if probe.enabled() {
+        // End-of-run sample of the aggregate KV-handoff wire time; keeps
+        // the `link` track present (at zero) even for migration-free runs.
+        let wire: Time = match &sched.components()[0] {
+            Node::Router(r) => r.accounting().handoff_transfer,
+            Node::Instance(_) => unreachable!("component 0 is the router"),
+        };
+        probe.gauge("link", "handoff_wire_ps", makespan, wire.as_ps());
+    }
 
     let mut report = FleetReport {
         total_requests: trace.len() as u32,

@@ -2,9 +2,10 @@
 //! migrations, the staged-vs-direct exposed-handoff gap, admission
 //! control, and threshold autoscaling.
 
-use tee_fleet::{simulate, AutoscaleConfig, FleetConfig, FleetReport, Policy};
+use tee_fleet::{simulate, simulate_probed, AutoscaleConfig, FleetConfig, FleetReport, Policy};
 use tee_serve::config::SecurityProfile;
 use tee_serve::{Diurnal, ServeConfig, SessionRequest, SessionTraceConfig};
+use tee_sim::probe::SharedProbe;
 use tee_sim::Time;
 use tee_workloads::zoo::{by_name, ModelConfig};
 
@@ -148,6 +149,47 @@ fn autoscaling_rides_a_diurnal_wave() {
     // warm fleet of the same size.
     let warm = run(&fleet(4), &SecurityProfile::tensor_tee(), &t);
     assert!(r.makespan >= warm.makespan);
+}
+
+#[test]
+fn tracing_does_not_perturb_the_fleet_report() {
+    // An autoscaled, migration-heavy run under the chattiest probe must
+    // reproduce the unprobed report exactly: probes observe time, they
+    // never advance it.
+    let t = SessionTraceConfig::poisson(160, 40.0, 4, 21)
+        .with_diurnal(Diurnal::new(4.0, 0.8))
+        .generate();
+    let scale = AutoscaleConfig {
+        interval: Time::from_ms(50),
+        high_outstanding: 4.0,
+        low_outstanding: 1.0,
+        cold_start: Time::from_ms(200),
+    };
+    let cfg = fleet(4)
+        .with_policy(Policy::RoundRobin)
+        .with_autoscale(1, scale)
+        .with_queue_bound(64);
+    let profile = SecurityProfile::tensor_tee();
+    let plain = run(&cfg, &profile, &t);
+    let recorder = SharedProbe::recording();
+    let probed = simulate_probed(&cfg, &model(), &profile, &t, &recorder);
+    assert_eq!(plain, probed, "probe must not change a single field");
+
+    let snap = recorder.snapshot().expect("recording probe");
+    let m = snap.metrics();
+    assert_eq!(m.get("fleet.migrations"), plain.migrations);
+    assert_eq!(m.get("fleet.migrated_bytes"), plain.migrated_bytes);
+    assert_eq!(m.get("fleet.iterations"), plain.iterations);
+    assert_eq!(
+        m.get("fleet.dispatched"),
+        u64::from(plain.completed_requests)
+    );
+    assert!(m.get("fleet.scale_ups") > 0, "autoscale decisions traced");
+    let tracks: std::collections::BTreeSet<&str> =
+        snap.events().iter().map(|e| e.track()).collect();
+    for want in ["router", "link", "NPU0", "CPU"] {
+        assert!(tracks.contains(want), "missing track {want}: {tracks:?}");
+    }
 }
 
 #[test]

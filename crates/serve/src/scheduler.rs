@@ -29,6 +29,7 @@ use crate::trace::Request;
 use std::collections::{BTreeSet, VecDeque};
 use tee_comm::schedule::exposed_time;
 use tee_npu::engine::{Layer, NpuEngine};
+use tee_sim::probe::SharedProbe;
 use tee_sim::{EventQueue, Histogram, Time};
 use tee_workloads::zoo::ModelConfig;
 
@@ -75,6 +76,25 @@ pub fn simulate(
     profile: &SecurityProfile,
     trace: &[Request],
 ) -> ServeReport {
+    simulate_probed(cfg, model, profile, trace, &SharedProbe::Null)
+}
+
+/// [`simulate`] with an observability probe: iterations emit
+/// prefill/decode/mixed spans on the `NPU` track, KV migrations emit
+/// `link` transfer spans and `CPU` spill/fetch instants, and the byte
+/// counters accumulate in the probe's metrics registry. The report is
+/// byte-identical to the unprobed run — probes only observe.
+///
+/// # Panics
+///
+/// Panics if `cfg.max_batch` is zero.
+pub fn simulate_probed(
+    cfg: &ServeConfig,
+    model: &ModelConfig,
+    profile: &SecurityProfile,
+    trace: &[Request],
+    probe: &SharedProbe,
+) -> ServeReport {
     assert!(cfg.max_batch > 0, "need at least one batch slot");
     let kv = KvSpec::of(model);
     let engine = NpuEngine::new(cfg.npu.clone(), profile.mac);
@@ -117,7 +137,12 @@ pub fn simulate(
         let now = queue.now();
         for (_, event) in batch {
             match event {
-                Event::Arrival(i) => waiting.push_back(i),
+                Event::Arrival(i) => {
+                    if probe.enabled() {
+                        probe.instant("CPU", "arrival", now);
+                    }
+                    waiting.push_back(i);
+                }
                 Event::IterDone => {
                     finish_iteration(now, &in_flight, &mut running, &mut pool, &mut report);
                     in_flight.clear();
@@ -157,6 +182,7 @@ pub fn simulate(
                 });
             }
             if let Some(dt) = start_iteration(
+                now,
                 model,
                 profile,
                 &kv,
@@ -165,6 +191,7 @@ pub fn simulate(
                 &running,
                 &mut in_flight,
                 &mut report,
+                probe,
             ) {
                 queue.schedule_after(dt, Event::IterDone);
                 busy = true;
@@ -179,6 +206,7 @@ pub fn simulate(
 /// there is nothing to run. Fills `in_flight` with the scheduled ids.
 #[allow(clippy::too_many_arguments)]
 fn start_iteration(
+    now: Time,
     model: &ModelConfig,
     profile: &SecurityProfile,
     kv: &KvSpec,
@@ -187,6 +215,7 @@ fn start_iteration(
     running: &[Active],
     in_flight: &mut Vec<u32>,
     report: &mut ServeReport,
+    probe: &SharedProbe,
 ) -> Option<Time> {
     if running.is_empty() {
         return None;
@@ -241,6 +270,27 @@ fn start_iteration(
     report.npu_time += npu;
     report.kv_transfer_time += kv_time;
     report.kv_exposed_time += kv_exposed;
+    if probe.enabled() {
+        let name = match (prefill_prompts.is_empty(), decode_ctxs.is_empty()) {
+            (false, true) => "prefill",
+            (true, false) => "decode",
+            _ => "mixed",
+        };
+        probe.span("NPU", name, now, now + npu);
+        probe.count("serve.iterations", 1);
+        if kv_time > Time::ZERO {
+            probe.span("link", "kv_transfer", now, now + kv_time);
+            probe.count("serve.kv_exposed_ps", kv_exposed.as_ps());
+        }
+        if fetched > 0 {
+            probe.instant("CPU", "kv_fetch", now);
+            probe.count("serve.kv_fetch_bytes", fetched);
+        }
+        if offloaded > 0 {
+            probe.instant("CPU", "kv_offload", now);
+            probe.count("serve.kv_offload_bytes", offloaded);
+        }
+    }
     Some(npu + kv_exposed)
 }
 
@@ -446,6 +496,29 @@ mod tests {
             r.ttft_ns.max(),
             "co-arriving prompts prefill together"
         );
+    }
+
+    #[test]
+    fn probed_run_matches_unprobed_and_records_kv_traffic() {
+        let model = by_name("GPT").unwrap();
+        let kv = KvSpec::of(&model);
+        // Tight HBM forces KV spill/fetch so the probe sees migrations.
+        let cfg = small_cfg(&model).with_kv_hbm_bytes(kv.bytes_per_token * 800);
+        let trace = small_trace();
+        let profile = SecurityProfile::sgx_mgx();
+        let plain = simulate(&cfg, &model, &profile, &trace);
+        let recorder = SharedProbe::recording();
+        let probed = simulate_probed(&cfg, &model, &profile, &trace, &recorder);
+        assert_eq!(plain, probed, "probing must not change the report");
+        let snap = recorder.snapshot().expect("recording");
+        assert_eq!(snap.metrics().get("serve.iterations"), plain.iterations);
+        assert!(snap.metrics().get("serve.kv_offload_bytes") > 0);
+        for track in ["NPU", "link", "CPU"] {
+            assert!(
+                snap.events().iter().any(|e| e.track() == track),
+                "missing track {track}"
+            );
+        }
     }
 
     #[test]

@@ -53,6 +53,7 @@
 
 use crate::clock::Time;
 use crate::event::EventQueue;
+use crate::probe::SharedProbe;
 
 /// Index of a component inside its [`Scheduler`] (assigned by
 /// [`Scheduler::add`], dense from zero). The id doubles as the
@@ -91,6 +92,13 @@ pub trait Component {
 
     /// Delivers a message sent to this component at time `now`.
     fn receive(&mut self, now: Time, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Human-readable track name for trace output (e.g. `"NPU0"`).
+    /// Components that return the default empty string are traced under
+    /// the generic `c<id>` track. Only called when a probe is recording.
+    fn label(&self) -> String {
+        String::new()
+    }
 }
 
 /// The scheduler-side context handed to a running component: the current
@@ -183,6 +191,11 @@ pub struct Scheduler<C: Component> {
     /// Reused delta-cycle batch buffer, so draining a timestamp does not
     /// allocate per sub-round on the scheduler hot path.
     batch: Vec<(Time, Event<C::Msg>)>,
+    /// Observability sink: tick spans, delivery/send instants, event
+    /// counters. [`SharedProbe::Null`] by default, so the hot path pays
+    /// one branch per dispatch. Probes only observe timestamps — they
+    /// cannot change the schedule.
+    probe: SharedProbe,
 }
 
 impl<C: Component> Default for Scheduler<C> {
@@ -201,6 +214,25 @@ impl<C: Component> Scheduler<C> {
             events_processed: 0,
             outbox: Vec::new(),
             batch: Vec::new(),
+            probe: SharedProbe::Null,
+        }
+    }
+
+    /// Installs an observability probe. Dispatches emit a zero-width
+    /// `tick` span per component tick, a `recv` instant per delivery,
+    /// and a `send` instant per outgoing message, all on the sending or
+    /// receiving component's [`Component::label`] track.
+    pub fn set_probe(&mut self, probe: SharedProbe) {
+        self.probe = probe;
+    }
+
+    /// Track name for `id`: the component's label, or `c<id>`.
+    fn track(&self, id: ComponentId) -> String {
+        let label = self.components[id].label();
+        if label.is_empty() {
+            format!("c{id}")
+        } else {
+            label
         }
     }
 
@@ -298,6 +330,10 @@ impl<C: Component> Scheduler<C> {
         match event {
             Event::Deliver(_, msg) => {
                 self.events_processed += 1;
+                if self.probe.enabled() {
+                    self.probe.instant(&self.track(id), "recv", t);
+                    self.probe.count("des.deliveries", 1);
+                }
                 let mut outbox = std::mem::take(&mut self.outbox);
                 let mut ctx = Ctx {
                     now: t,
@@ -305,7 +341,7 @@ impl<C: Component> Scheduler<C> {
                     outbox: &mut outbox,
                 };
                 self.components[id].receive(t, msg, &mut ctx);
-                self.flush(outbox);
+                self.flush(id, t, outbox);
             }
             Event::Wake(_) => {
                 if self.armed[id] == t {
@@ -317,6 +353,10 @@ impl<C: Component> Scheduler<C> {
                 // `rearm` so the moved tick gets a fresh wake.
                 if self.components[id].next_tick() == t {
                     self.events_processed += 1;
+                    if self.probe.enabled() {
+                        self.probe.span(&self.track(id), "tick", t, t);
+                        self.probe.count("des.ticks", 1);
+                    }
                     let mut outbox = std::mem::take(&mut self.outbox);
                     let mut ctx = Ctx {
                         now: t,
@@ -329,7 +369,7 @@ impl<C: Component> Scheduler<C> {
                         after > t,
                         "component {id} ticked at {t} without advancing next_tick (still {after})"
                     );
-                    self.flush(outbox);
+                    self.flush(id, t, outbox);
                 }
             }
         }
@@ -337,12 +377,19 @@ impl<C: Component> Scheduler<C> {
     }
 
     /// Moves a drained outbox into the heap and stores the buffer back.
-    fn flush(&mut self, mut outbox: Vec<(Time, ComponentId, C::Msg)>) {
+    /// `from`/`t` identify the sender and send time for the probe.
+    fn flush(&mut self, from: ComponentId, t: Time, mut outbox: Vec<(Time, ComponentId, C::Msg)>) {
+        let traced = self.probe.enabled();
         for (at, to, msg) in outbox.drain(..) {
             assert!(
                 to < self.components.len(),
                 "message to unknown component {to}"
             );
+            if traced {
+                self.probe
+                    .instant(&self.track(from), &format!("send->{}", self.track(to)), t);
+                self.probe.count("des.sends", 1);
+            }
             self.queue.schedule(at, Event::Deliver(to, msg));
         }
         self.outbox = outbox;
@@ -563,6 +610,43 @@ mod tests {
         let mut sched: Scheduler<Probe> = Scheduler::new();
         sched.add(Probe::sink());
         sched.send_at(Time::ZERO, 7, 0);
+    }
+
+    #[test]
+    fn probe_records_ticks_and_sends_without_perturbing() {
+        let build = |probe: Option<SharedProbe>| {
+            let mut sched = Scheduler::new();
+            for i in 0..3 {
+                sched.add(Probe {
+                    relay_to: Some((i + 1) % 3),
+                    relay_delay: Time::from_ns(7),
+                    log: Vec::new(),
+                });
+            }
+            if let Some(p) = probe {
+                sched.set_probe(p);
+            }
+            sched.send_at(Time::from_ns(2), 1, 100);
+            sched.run_until(Time::from_ns(100));
+            (
+                sched.events_processed(),
+                sched
+                    .components()
+                    .iter()
+                    .map(|p| p.log.clone())
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let recorder = SharedProbe::recording();
+        let traced = build(Some(recorder.clone()));
+        let untraced = build(None);
+        assert_eq!(traced, untraced, "tracing must not perturb the schedule");
+        let snap = recorder.snapshot().expect("recording probe");
+        assert!(!snap.events().is_empty());
+        assert_eq!(snap.metrics().get("des.deliveries"), traced.0);
+        assert!(snap.metrics().get("des.sends") > 0);
+        // Default labels fall back to c<id> tracks.
+        assert!(snap.events().iter().any(|e| e.track() == "c1"));
     }
 
     #[test]

@@ -18,7 +18,12 @@
 //!   shared resources such as AES engines, DRAM channels and PCIe lanes,
 //! * [`stats`] — counters/histograms used for every reported figure,
 //! * [`rng`] — a small deterministic PRNG so simulations are reproducible
-//!   without threading `rand` state through every component.
+//!   without threading `rand` state through every component,
+//! * [`probe`] — zero-overhead-when-off observability hooks (spans,
+//!   instants, counters, gauges) recorded by [`TraceProbe`] and exported
+//!   by the `tensortee` CLI as Chrome/Perfetto trace JSON. Probes observe
+//!   [`Time`] and never advance it: results are byte-identical with
+//!   tracing on and off.
 //!
 //! ## Example
 //!
@@ -35,6 +40,7 @@ pub mod bandwidth;
 pub mod clock;
 pub mod des;
 pub mod event;
+pub mod probe;
 pub mod rng;
 pub mod stats;
 pub mod trace;
@@ -44,5 +50,6 @@ pub use bandwidth::{BandwidthResource, ThroughputPipe};
 pub use clock::{ClockDomain, Time};
 pub use des::{Component, ComponentId, Scheduler};
 pub use event::{EventQueue, HeapQueue};
+pub use probe::{MetricsRegistry, NullProbe, Probe, ProbeEvent, SharedProbe, TraceProbe};
 pub use rng::SplitMix64;
 pub use stats::{Counter, Histogram, StatSet};

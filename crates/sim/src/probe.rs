@@ -1,0 +1,406 @@
+//! Observability probes: zero-overhead-when-off span/counter hooks.
+//!
+//! The probe layer lets every simulator narrate what it is doing —
+//! component ticks, message sends, phase spans, KV spills — without
+//! perturbing the simulation. Probes **observe** [`Time`], they never
+//! advance it: a run must produce byte-identical results with tracing
+//! on and off (the differential test over the artifact registry pins
+//! this).
+//!
+//! Three pieces:
+//!
+//! * [`Probe`] — the event vocabulary: spans (named intervals on a
+//!   track), instants (zero-width markers), monotonic counters, and
+//!   gauges (sampled values). Every method has a no-op default.
+//! * [`NullProbe`] / [`TraceProbe`] — the no-op default and the
+//!   recording implementation. [`TraceProbe`] accumulates a flat
+//!   [`ProbeEvent`] log plus a [`MetricsRegistry`] of counters.
+//! * [`SharedProbe`] — the cloneable handle threaded through
+//!   schedulers and run contexts. Its `Null` variant is a bare enum
+//!   discriminant, so the off path costs one branch; the `Trace`
+//!   variant wraps the recorder in `Arc<Mutex<..>>` so contexts that
+//!   cross `std::thread::scope` boundaries (the explore executor)
+//!   stay `Send + Sync`.
+//!
+//! Track names are free-form strings; the convention across the repo
+//! is hardware-flavoured names (`NPU0`, `CPU`, `link`, `ring`,
+//! `router`) so the Chrome/Perfetto export groups events the way the
+//! paper's figures do.
+
+use crate::clock::Time;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Event sink for simulation observability.
+///
+/// All methods default to no-ops so implementations only override what
+/// they record. `track` names a timeline (one row in a trace viewer);
+/// `name` labels the event on it.
+pub trait Probe {
+    /// Whether events will actually be recorded. Callers may use this
+    /// to skip event-construction work (string formatting) entirely.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// A complete interval `[start, end]` on `track`.
+    fn span(&mut self, _track: &str, _name: &str, _start: Time, _end: Time) {}
+
+    /// Opens an interval on `track`; pair with [`Probe::span_end`].
+    fn span_begin(&mut self, _track: &str, _name: &str, _at: Time) {}
+
+    /// Closes the most recently opened interval on `track`.
+    fn span_end(&mut self, _track: &str, _at: Time) {}
+
+    /// A zero-width marker on `track`.
+    fn instant(&mut self, _track: &str, _name: &str, _at: Time) {}
+
+    /// Adds `delta` to the monotonic counter `name`.
+    fn count(&mut self, _name: &str, _delta: u64) {}
+
+    /// Samples `value` for series `name` on `track` at `at`.
+    fn gauge(&mut self, _track: &str, _name: &str, _at: Time, _value: u64) {}
+}
+
+/// The default probe: records nothing, costs nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {}
+
+/// One recorded event in a [`TraceProbe`] log, in emission order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbeEvent {
+    /// Complete interval on a track.
+    Span {
+        /// Timeline name.
+        track: String,
+        /// Event label.
+        name: String,
+        /// Interval start.
+        start: Time,
+        /// Interval end (`>= start`).
+        end: Time,
+    },
+    /// Opened interval (closed by the next `End` on the same track).
+    Begin {
+        /// Timeline name.
+        track: String,
+        /// Event label.
+        name: String,
+        /// Open timestamp.
+        at: Time,
+    },
+    /// Closes the innermost open interval on `track`.
+    End {
+        /// Timeline name.
+        track: String,
+        /// Close timestamp.
+        at: Time,
+    },
+    /// Zero-width marker.
+    Instant {
+        /// Timeline name.
+        track: String,
+        /// Event label.
+        name: String,
+        /// Marker timestamp.
+        at: Time,
+    },
+    /// Sampled value series point.
+    Gauge {
+        /// Timeline name.
+        track: String,
+        /// Series label.
+        name: String,
+        /// Sample timestamp.
+        at: Time,
+        /// Sampled value.
+        value: u64,
+    },
+}
+
+impl ProbeEvent {
+    /// The track the event lives on.
+    pub fn track(&self) -> &str {
+        match self {
+            ProbeEvent::Span { track, .. }
+            | ProbeEvent::Begin { track, .. }
+            | ProbeEvent::End { track, .. }
+            | ProbeEvent::Instant { track, .. }
+            | ProbeEvent::Gauge { track, .. } => track,
+        }
+    }
+
+    /// The event's (start) timestamp.
+    pub fn at(&self) -> Time {
+        match self {
+            ProbeEvent::Span { start, .. } => *start,
+            ProbeEvent::Begin { at, .. }
+            | ProbeEvent::End { at, .. }
+            | ProbeEvent::Instant { at, .. }
+            | ProbeEvent::Gauge { at, .. } => *at,
+        }
+    }
+}
+
+/// Named monotonic counters with order-independent merge.
+///
+/// Counters are additive `u64`s keyed by name; merging two registries
+/// sums matching keys, so any partition of a run's events folds to the
+/// same totals regardless of merge order (pinned by a proptest).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to counter `name` (creating it at zero).
+    pub fn bump(&mut self, name: &str, delta: u64) {
+        if let Some(v) = self.counters.get_mut(name) {
+            *v += delta;
+        } else {
+            self.counters.insert(name.to_owned(), delta);
+        }
+    }
+
+    /// Current value of `name` (zero when never bumped).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates `(name, value)` in sorted name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether no counter was ever bumped.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Adds every counter of `other` into `self`. Addition is
+    /// commutative and associative, so merge order cannot matter.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, value) in &other.counters {
+            self.bump(name, *value);
+        }
+    }
+}
+
+/// The recording probe: a flat event log plus a counter registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceProbe {
+    events: Vec<ProbeEvent>,
+    metrics: MetricsRegistry,
+}
+
+impl TraceProbe {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        TraceProbe::default()
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[ProbeEvent] {
+        &self.events
+    }
+
+    /// The accumulated counters.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+}
+
+impl Probe for TraceProbe {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span(&mut self, track: &str, name: &str, start: Time, end: Time) {
+        debug_assert!(end >= start, "span ends before it starts");
+        self.events.push(ProbeEvent::Span {
+            track: track.to_owned(),
+            name: name.to_owned(),
+            start,
+            end,
+        });
+    }
+
+    fn span_begin(&mut self, track: &str, name: &str, at: Time) {
+        self.events.push(ProbeEvent::Begin {
+            track: track.to_owned(),
+            name: name.to_owned(),
+            at,
+        });
+    }
+
+    fn span_end(&mut self, track: &str, at: Time) {
+        self.events.push(ProbeEvent::End {
+            track: track.to_owned(),
+            at,
+        });
+    }
+
+    fn instant(&mut self, track: &str, name: &str, at: Time) {
+        self.events.push(ProbeEvent::Instant {
+            track: track.to_owned(),
+            name: name.to_owned(),
+            at,
+        });
+    }
+
+    fn count(&mut self, name: &str, delta: u64) {
+        self.metrics.bump(name, delta);
+    }
+
+    fn gauge(&mut self, track: &str, name: &str, at: Time, value: u64) {
+        self.events.push(ProbeEvent::Gauge {
+            track: track.to_owned(),
+            name: name.to_owned(),
+            at,
+            value,
+        });
+    }
+}
+
+/// Cloneable probe handle threaded through schedulers and contexts.
+///
+/// `Null` (the default) is a bare discriminant: every emission site
+/// checks [`SharedProbe::enabled`] first, so an untraced run pays one
+/// predictable branch per site and allocates nothing. `Trace` shares
+/// one [`TraceProbe`] behind `Arc<Mutex<..>>` — the handle must be
+/// `Send + Sync` because run contexts cross `std::thread::scope`
+/// boundaries in the explore executor (traced simulations themselves
+/// are single-threaded, so the lock is uncontended).
+#[derive(Debug, Clone, Default)]
+pub enum SharedProbe {
+    /// Record nothing (the default).
+    #[default]
+    Null,
+    /// Record into a shared [`TraceProbe`].
+    Trace(Arc<Mutex<TraceProbe>>),
+}
+
+impl SharedProbe {
+    /// A fresh recording handle.
+    pub fn recording() -> Self {
+        SharedProbe::Trace(Arc::new(Mutex::new(TraceProbe::new())))
+    }
+
+    /// Whether emissions will be recorded. Check this before doing any
+    /// event-construction work (formatting track names, etc.).
+    pub fn enabled(&self) -> bool {
+        matches!(self, SharedProbe::Trace(_))
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut TraceProbe) -> R) -> Option<R> {
+        match self {
+            SharedProbe::Null => None,
+            SharedProbe::Trace(p) => Some(f(&mut p.lock().expect("probe lock poisoned"))),
+        }
+    }
+
+    /// See [`Probe::span`].
+    pub fn span(&self, track: &str, name: &str, start: Time, end: Time) {
+        self.with(|p| p.span(track, name, start, end));
+    }
+
+    /// See [`Probe::span_begin`].
+    pub fn span_begin(&self, track: &str, name: &str, at: Time) {
+        self.with(|p| p.span_begin(track, name, at));
+    }
+
+    /// See [`Probe::span_end`].
+    pub fn span_end(&self, track: &str, at: Time) {
+        self.with(|p| p.span_end(track, at));
+    }
+
+    /// See [`Probe::instant`].
+    pub fn instant(&self, track: &str, name: &str, at: Time) {
+        self.with(|p| p.instant(track, name, at));
+    }
+
+    /// See [`Probe::count`].
+    pub fn count(&self, name: &str, delta: u64) {
+        self.with(|p| p.count(name, delta));
+    }
+
+    /// See [`Probe::gauge`].
+    pub fn gauge(&self, track: &str, name: &str, at: Time, value: u64) {
+        self.with(|p| p.gauge(track, name, at, value));
+    }
+
+    /// A clone of the recorded trace (`None` for [`SharedProbe::Null`]).
+    pub fn snapshot(&self) -> Option<TraceProbe> {
+        self.with(|p| p.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_probe_is_disabled_and_silent() {
+        let mut p = NullProbe;
+        assert!(!p.enabled());
+        p.span("t", "a", Time::ZERO, Time::from_ns(1));
+        p.count("c", 3);
+        let shared = SharedProbe::default();
+        assert!(!shared.enabled());
+        assert!(shared.snapshot().is_none());
+    }
+
+    #[test]
+    fn trace_probe_records_in_emission_order() {
+        let mut p = TraceProbe::new();
+        assert!(p.enabled());
+        p.span("NPU0", "tick", Time::from_ns(1), Time::from_ns(2));
+        p.instant("link", "send", Time::from_ns(1));
+        p.count("events", 2);
+        p.count("events", 3);
+        p.gauge("CPU", "queue", Time::from_ns(4), 7);
+        assert_eq!(p.events().len(), 3);
+        assert_eq!(p.events()[0].track(), "NPU0");
+        assert_eq!(p.events()[1].at(), Time::from_ns(1));
+        assert_eq!(p.metrics().get("events"), 5);
+        assert_eq!(p.metrics().get("missing"), 0);
+    }
+
+    #[test]
+    fn shared_probe_clones_share_one_recorder() {
+        let a = SharedProbe::recording();
+        let b = a.clone();
+        a.instant("router", "dispatch", Time::ZERO);
+        b.count("fleet.migrations", 1);
+        let snap = a.snapshot().expect("recording");
+        assert_eq!(snap.events().len(), 1);
+        assert_eq!(snap.metrics().get("fleet.migrations"), 1);
+    }
+
+    #[test]
+    fn registry_merge_is_additive() {
+        let mut a = MetricsRegistry::new();
+        a.bump("x", 2);
+        a.bump("y", 1);
+        let mut b = MetricsRegistry::new();
+        b.bump("x", 3);
+        b.bump("z", 4);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 5);
+        assert_eq!(a.get("y"), 1);
+        assert_eq!(a.get("z"), 4);
+        assert_eq!(a.len(), 3);
+    }
+}

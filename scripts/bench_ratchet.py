@@ -104,6 +104,13 @@ def main():
                 "queue", "queue", base.get("queues", []), fresh.get("queues", []),
                 "median_ms", args.tolerance, args.slack_ms,
             )
+        ) + list(
+            # The probe-overhead microbench: the "null" row ratchets the
+            # zero-overhead-when-off claim for the observability layer.
+            compare(
+                "probe", "probe", base.get("probes", []), fresh.get("probes", []),
+                "median_ms", args.tolerance, args.slack_ms,
+            )
         )
         for failed, message in checks:
             print(message)
@@ -118,7 +125,7 @@ def main():
         return 1
     print(
         f"ratchet OK: {len(base['artifacts'])} artifacts + {len(base['sweeps'])} sweeps "
-        f"+ {len(base.get('queues', []))} queues "
+        f"+ {len(base.get('queues', []))} queues + {len(base.get('probes', []))} probes "
         f"within +{args.tolerance:.0%} of {base.get('rev', '?')}"
     )
     return 0

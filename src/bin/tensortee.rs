@@ -16,9 +16,11 @@
 //! whose `--threads` knob changes wall-clock but never a byte of output.
 
 use std::process::ExitCode;
+use tee_sim::probe::SharedProbe;
 use tensortee::artifact::{find, registry, Artifact, RunContext};
 use tensortee::explore::{explore_pareto_for, explore_sensitivity_for, Scenario};
 use tensortee::json::Json;
+use tensortee::obs::chrome_trace;
 use tensortee::perf::{BenchOptions, BenchTrajectory};
 use tensortee::report::{Report, Table};
 
@@ -41,6 +43,10 @@ commands:
   explore <{scenarios}> [flags]
                                 sweep the scenario's hardware/security design
                                 space: Pareto frontier + tornado sensitivity
+  trace <id> [--out FILE]       run one artifact with a recording probe and
+                                write a Chrome/Perfetto trace-event JSON
+                                (default trace_<id>.json; load it at
+                                ui.perfetto.dev or chrome://tracing)
   bench [flags]                 time every artifact + the explore sweeps;
                                 writes BENCH_<rev>.json (or, with --json,
                                 prints the same shape to stdout)
@@ -48,6 +54,11 @@ commands:
 flags:
   --json         emit machine-readable JSON instead of markdown
   --fast         reduced context: coarser sim scale, fewer models/sweep points
+  --quiet        suppress stderr progress chatter (stdout is unaffected)
+  --trace        run/explore: also record a probe trace and write it to
+                 --out (default trace.json); reports are byte-identical
+                 with and without it
+  --out <FILE>   where trace output is written
   --seed <u64>   seed for stochastic artifacts and sampling plans (default 42)
   --threads <N>  explorer worker threads (wall-clock only; output is
                  byte-identical for any N; default 4)
@@ -64,6 +75,9 @@ struct Args {
     json: bool,
     fast: bool,
     all: bool,
+    quiet: bool,
+    trace: bool,
+    out: Option<String>,
     seed: Option<u64>,
     threads: Option<u32>,
     points: Option<u32>,
@@ -78,6 +92,9 @@ impl Args {
             json: false,
             fast: false,
             all: false,
+            quiet: false,
+            trace: false,
+            out: None,
             seed: None,
             threads: None,
             points: None,
@@ -90,6 +107,9 @@ impl Args {
                 "--json" => out.json = true,
                 "--fast" => out.fast = true,
                 "--all" => out.all = true,
+                "--quiet" => out.quiet = true,
+                "--trace" => out.trace = true,
+                "--out" => out.out = Some(parse_value(arg, it.next())?),
                 "--seed" => out.seed = Some(parse_value(arg, it.next())?),
                 "--threads" => out.threads = Some(parse_value(arg, it.next())?),
                 "--points" => out.points = Some(parse_value(arg, it.next())?),
@@ -152,6 +172,7 @@ fn main() -> ExitCode {
         }
         Some("run") => run(&args[1..]),
         Some("explore") => explore(&args[1..]),
+        Some("trace") => trace_cmd(&args[1..]),
         Some("bench") => bench(&args[1..]),
         Some("--help" | "-h" | "help") => {
             println!("{}", usage());
@@ -238,12 +259,17 @@ fn run(raw: &[String]) -> ExitCode {
         picked
     };
 
-    let ctx = args.context();
+    let probe = if args.trace {
+        SharedProbe::recording()
+    } else {
+        SharedProbe::Null
+    };
+    let ctx = args.context().with_probe(probe.clone());
     if !selection.is_empty() {
         let reports: Vec<Report> = selection
             .iter()
             .map(|a| {
-                if !args.json {
+                if !args.json && !args.quiet {
                     eprintln!("running {} ({}) ...", a.id, a.paper_anchor);
                 }
                 a.run(&ctx)
@@ -251,10 +277,70 @@ fn run(raw: &[String]) -> ExitCode {
             .collect();
         emit(&reports, args.json);
     }
+    if args.trace {
+        let path = args.out.clone().unwrap_or_else(|| "trace.json".to_string());
+        if let Err(code) = write_trace(&probe, &path, args.quiet) {
+            return code;
+        }
+    }
     if unknown.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// Exports `probe`'s recording as Chrome trace-event JSON at `path`.
+fn write_trace(probe: &SharedProbe, path: &str, quiet: bool) -> Result<(), ExitCode> {
+    let snap = probe.snapshot().expect("trace paths install a recorder");
+    let json = chrome_trace(&snap);
+    match std::fs::write(path, format!("{json}\n")) {
+        Ok(()) => {
+            if !quiet {
+                eprintln!(
+                    "wrote {path} ({} events, {} counters); load it at ui.perfetto.dev",
+                    snap.events().len(),
+                    snap.metrics().len()
+                );
+            }
+            Ok(())
+        }
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// `tensortee trace <id> [--out FILE]`: run one artifact under a
+/// recording probe and write the Chrome/Perfetto trace-event JSON.
+/// Unknown ids exit 1 (the command line was fine; the id was not).
+fn trace_cmd(raw: &[String]) -> ExitCode {
+    let args = match Args::parse(raw) {
+        Ok(args) => args,
+        Err(e) => return usage_error(&e),
+    };
+    let [id] = args.positional.as_slice() else {
+        return usage_error("trace needs exactly one artifact id");
+    };
+    let Some(artifact) = find(id) else {
+        let known: Vec<&str> = registry().iter().map(|a| a.id).collect();
+        eprintln!("unknown artifact {id:?}; known ids: {}", known.join(", "));
+        return ExitCode::FAILURE;
+    };
+    let probe = SharedProbe::recording();
+    let ctx = args.context().with_probe(probe.clone());
+    if !args.quiet {
+        eprintln!("tracing {} ({}) ...", artifact.id, artifact.paper_anchor);
+    }
+    let _report = artifact.run(&ctx);
+    let path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("trace_{id}.json"));
+    match write_trace(&probe, &path, args.quiet) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(code) => code,
     }
 }
 
@@ -314,8 +400,13 @@ fn explore(raw: &[String]) -> ExitCode {
             scenario_list()
         ));
     };
-    let ctx = args.context();
-    if !args.json {
+    let probe = if args.trace {
+        SharedProbe::recording()
+    } else {
+        SharedProbe::Null
+    };
+    let ctx = args.context().with_probe(probe.clone());
+    if !args.json && !args.quiet {
         eprintln!(
             "exploring the {} space: {} points, {} worker threads, seed {} ...",
             scenario.label(),
@@ -329,5 +420,11 @@ fn explore(raw: &[String]) -> ExitCode {
         explore_sensitivity_for(scenario, &ctx).1,
     ];
     emit(&reports, args.json);
+    if args.trace {
+        let path = args.out.clone().unwrap_or_else(|| "trace.json".to_string());
+        if let Err(code) = write_trace(&probe, &path, args.quiet) {
+            return code;
+        }
+    }
     ExitCode::SUCCESS
 }

@@ -2,7 +2,7 @@
 //! contract):
 //!
 //! * the JSON shape is well-formed per the hand-rolled `tensortee::json`
-//!   validator and carries one entry per registry artifact (floor ≥ 24),
+//!   validator and carries one entry per registry artifact (floor ≥ 25),
 //! * timings are the *only* floats — masking every `Json::Float` makes
 //!   two independent measurements byte-identical (what lets the CI
 //!   ratchet compare structure strictly and timings with a tolerance).
@@ -50,8 +50,8 @@ fn trajectory_covers_the_registry_and_differs_only_in_timings() {
     let first = BenchTrajectory::measure(&ctx, &opts);
     let second = BenchTrajectory::measure(&ctx, &opts);
 
-    // One entry per registry artifact, in registry order, floor ≥ 24.
-    assert!(first.artifacts.len() >= 24, "{}", first.artifacts.len());
+    // One entry per registry artifact, in registry order, floor ≥ 25.
+    assert!(first.artifacts.len() >= 25, "{}", first.artifacts.len());
     assert_eq!(first.artifacts.len(), registry().len());
     for (timing, artifact) in first.artifacts.iter().zip(registry()) {
         assert_eq!(timing.id, artifact.id);
@@ -76,6 +76,12 @@ fn trajectory_covers_the_registry_and_differs_only_in_timings() {
         assert!(q.events >= 1_000_000, "{}: {}", q.queue, q.events);
         assert!(q.median_ms > 0.0 && q.per_event_ns > 0.0, "{}", q.queue);
     }
+    // The probe-overhead microbench: tracing off, then recording; only
+    // the recording row carries events (the null row pins zero-when-off).
+    let probes: Vec<&str> = first.probes.iter().map(|p| p.probe).collect();
+    assert_eq!(probes, ["null", "trace"]);
+    assert_eq!(first.probes[0].events, 0);
+    assert!(first.probes[1].events > 0);
 
     // Well-formed per the hand-rolled validator, schema-tagged.
     let json = first.to_json();

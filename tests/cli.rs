@@ -103,3 +103,90 @@ fn missing_command_is_a_usage_error() {
     let out = tensortee(&["frobnicate"]);
     assert_eq!(code(&out), 2, "{out:?}");
 }
+
+#[test]
+fn quiet_silences_stderr_but_not_the_payload() {
+    let loud = tensortee(&["run", "tab2", "--fast", "--json"]);
+    let quiet = tensortee(&["run", "tab2", "--fast", "--json", "--quiet"]);
+    assert_eq!(code(&loud), 0, "{loud:?}");
+    assert_eq!(code(&quiet), 0, "{quiet:?}");
+    assert!(
+        quiet.stderr.is_empty(),
+        "--quiet left stderr chatter: {}",
+        String::from_utf8_lossy(&quiet.stderr)
+    );
+    // The payload contract is unchanged: identical stdout, well-formed.
+    assert_eq!(loud.stdout, quiet.stdout, "--quiet changed stdout");
+    let stdout = String::from_utf8(quiet.stdout).unwrap();
+    assert!(
+        tensortee::json::is_well_formed(stdout.trim()),
+        "stdout not well-formed JSON: {stdout}"
+    );
+}
+
+#[test]
+fn quiet_still_reports_partial_failures_on_stderr() {
+    // Diagnostics are not chatter: unknown-id errors survive --quiet.
+    let out = tensortee(&["run", "bogus", "--fast", "--json", "--quiet"]);
+    assert_eq!(code(&out), 1, "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown artifact \"bogus\""), "{stderr}");
+}
+
+#[test]
+fn trace_subcommand_writes_a_well_formed_trace() {
+    let dir = std::env::temp_dir().join(format!("tt_cli_trace_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("tab2.json");
+    let out = tensortee(&["trace", "tab2", "--fast", "--out", path.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    let trace = std::fs::read_to_string(&path).expect("trace file written");
+    assert!(
+        tensortee::json::is_well_formed(trace.trim()),
+        "trace not well-formed JSON: {trace}"
+    );
+    assert!(trace.contains("\"traceEvents\""), "{trace}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_of_unknown_artifact_is_a_runtime_failure_not_usage() {
+    let out = tensortee(&["trace", "bogus"]);
+    assert_eq!(code(&out), 1, "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown artifact \"bogus\""), "{stderr}");
+    assert!(stderr.contains("known ids:"), "{stderr}");
+}
+
+#[test]
+fn trace_requires_exactly_one_artifact_id() {
+    for args in [&["trace"][..], &["trace", "tab2", "sec65"][..]] {
+        let out = tensortee(args);
+        assert_eq!(code(&out), 2, "{args:?} -> {out:?}");
+        assert!(out.stdout.is_empty(), "{args:?} produced output");
+    }
+}
+
+#[test]
+fn tracing_does_not_change_run_output() {
+    // The observability acceptance bar: a traced run's report bytes are
+    // identical to an untraced run's.
+    let dir = std::env::temp_dir().join(format!("tt_cli_traced_run_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.json");
+    let plain = tensortee(&["run", "des_parity", "--fast", "--json"]);
+    let traced = tensortee(&[
+        "run",
+        "des_parity",
+        "--fast",
+        "--json",
+        "--trace",
+        "--out",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&plain), 0, "{plain:?}");
+    assert_eq!(code(&traced), 0, "{traced:?}");
+    assert_eq!(plain.stdout, traced.stdout, "--trace perturbed the report");
+    assert!(path.exists(), "--trace did not write the trace file");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -10,7 +10,7 @@ use tensortee::json::{is_well_formed, Json};
 #[test]
 fn ids_unique_and_registry_complete() {
     let ids: Vec<&str> = registry().iter().map(|a| a.id).collect();
-    assert!(ids.len() >= 24, "registry shrank: {ids:?}");
+    assert!(ids.len() >= 25, "registry shrank: {ids:?}");
     let mut sorted = ids.clone();
     sorted.sort_unstable();
     sorted.dedup();
