@@ -5,7 +5,7 @@
 //! sampled hardware point through the full training-step simulator under
 //! all three modes), then Criterion-times the two engine kernels that
 //! bound a sweep's overhead: the Latin-hypercube sampling plan and the
-//! three-objective Pareto frontier over a pre-priced evaluation set.
+//! four-objective Pareto frontier over a pre-priced evaluation set.
 
 use criterion::black_box;
 use tee_bench::{criterion_quick, run_registered};
@@ -16,7 +16,7 @@ fn main() {
     run_registered("explore_sensitivity");
 
     // Kernel timing: sampling plan + frontier on a synthetic sweep shaped
-    // like the real one (3 objectives, hundreds of evaluations).
+    // like the real one (4 objectives, hundreds of evaluations).
     let space = Space::new(vec![
         Knob::numeric("a", [1.0, 2.0, 3.0]),
         Knob::numeric("b", [1.0, 2.0, 3.0]),
@@ -29,9 +29,15 @@ fn main() {
             space.value(p, 0) * 100.0 + rng.next_f64(),
             space.value(p, 1) + rng.next_f64(),
             space.value(p, 2) * 0.01,
+            space.value(p, 3) * rng.next_f64(),
         ]
     });
-    let senses = [Sense::Maximize, Sense::Minimize, Sense::Minimize];
+    let senses = [
+        Sense::Maximize,
+        Sense::Minimize,
+        Sense::Minimize,
+        Sense::Minimize,
+    ];
 
     let mut c = criterion_quick();
     c.bench_function("explore/lhs_64pts", |b| {

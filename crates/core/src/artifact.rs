@@ -258,7 +258,7 @@ impl Artifact {
 }
 
 /// The registry, in paper presentation order.
-static REGISTRY: [Artifact; 25] = [
+static REGISTRY: [Artifact; 28] = [
     Artifact {
         id: "fig03",
         title: "CPU TEE slowdown vs. thread count",
@@ -445,6 +445,32 @@ static REGISTRY: [Artifact; 25] = [
         claim: "one-at-a-time swings rank which hardware knob moves each mode's throughput most",
         runner: |ctx| crate::explore::explore_sensitivity(ctx).1,
     },
+    Artifact {
+        id: "attack_traffic",
+        title: "Adversary: traffic analysis on the CPU\u{2013}NPU link",
+        paper_anchor: "extension (\u{a7}2.2 threat model, made quantitative)",
+        claim: "ciphertext sizes alone name the model behind a held-out trace above chance; \
+                the plug-in MI bounds the bits of model identity each transfer gives away",
+        runner: |ctx| crate::attack::attack_traffic(ctx),
+    },
+    Artifact {
+        id: "attack_kv_residency",
+        title: "Adversary: KV-residency linkage of spilled sessions",
+        paper_anchor: "extension (\u{a7}2.2 threat model at serving scale)",
+        claim: "plain-spilled KV object sizes link transfers back to the sessions that share \
+                prefixes; shielding at rest collapses the channel to ~0 bits for a priced \
+                re-encrypt/verify bill",
+        runner: |ctx| crate::attack::attack_kv_residency(ctx),
+    },
+    Artifact {
+        id: "attack_defended",
+        title: "Priced defenses: leakage vs. overhead",
+        paper_anchor: "extension (\u{a7}2.2 threat model, defenses priced)",
+        claim: "leakage orders strictly unshaped > padded > constant-rate (exactly 0) and \
+                plain spill > shielded at rest, with each defense's padding/re-encryption \
+                cost priced in the same report",
+        runner: |ctx| crate::attack::attack_defended(ctx),
+    },
 ];
 
 /// All registered artifacts, in paper presentation order.
@@ -463,7 +489,7 @@ mod tests {
 
     #[test]
     fn registry_covers_the_evaluation() {
-        assert!(registry().len() >= 25);
+        assert!(registry().len() >= 28);
         for id in [
             "fig03",
             "fig04",
@@ -490,6 +516,9 @@ mod tests {
             "obs_utilization",
             "explore_pareto",
             "explore_sensitivity",
+            "attack_traffic",
+            "attack_kv_residency",
+            "attack_defended",
         ] {
             assert!(find(id).is_some(), "{id} missing from registry");
         }

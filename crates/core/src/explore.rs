@@ -12,13 +12,17 @@
 //! otherwise) and fans the points across worker threads, and every point
 //! is priced through the *existing* simulators —
 //! [`TrainingSystem`] / [`ClusterSystem`] / [`tee_serve::simulate`] —
-//! under every security mode. Three objectives come back per evaluation:
+//! under every security mode. Four objectives come back per evaluation
+//! (one per [`Objective`] variant):
 //!
 //! 1. **throughput** (tokens/s — maximize),
 //! 2. **exposed transfer time** (non-overlapped communication or KV
 //!    migration — minimize),
 //! 3. **crypto-traffic overhead** (staging re-encryption, verify stalls,
-//!    MAC traffic — as a fraction of the step/makespan — minimize).
+//!    MAC traffic — as a fraction of the step/makespan — minimize),
+//! 4. **leakage** (bits per observed transfer a link-level adversary can
+//!    extract, [`tee_attack`]'s estimators — minimize; priced by the
+//!    attack scenario, zero elsewhere).
 //!
 //! The analysis layer distills the evaluations into a multi-objective
 //! Pareto frontier, per-knob one-at-a-time tornado sensitivities, and
@@ -38,11 +42,17 @@ use crate::report::{pct, Report, Table};
 use crate::system::{ClusterSystem, TrainingSystem};
 use std::collections::BTreeMap;
 use std::sync::{Mutex, OnceLock};
+use tee_attack::{
+    extractable_bits, size_bucket, KvShield, Observation, Shaping, MEASUREMENT_QUANTUM,
+};
 use tee_comm::Interconnect;
 use tee_explore::{dominator_of, pareto_frontier, tornado, Executor, Knob, Point, Sense, Space};
 use tee_fleet::{simulate as fleet_simulate, FleetConfig, Policy};
 use tee_mem::DramConfig;
-use tee_serve::{simulate, Diurnal, KvProtocol, ServeConfig, SessionTraceConfig, TraceConfig};
+use tee_serve::{
+    simulate, simulate_probed, Diurnal, KvProtocol, ServeConfig, SessionTraceConfig, TraceConfig,
+};
+use tee_sim::probe::SharedProbe;
 use tee_sim::{SplitMix64, Time};
 use tee_workloads::zoo::ModelConfig;
 use tee_workloads::StepSchedule;
@@ -64,6 +74,10 @@ pub enum Scenario {
     /// Fleet serving — M instances behind the KV-aware router with
     /// priced secure KV handoffs ([`tee_fleet`]).
     Fleet,
+    /// Link-level adversary vs. priced defenses: traced serving runs
+    /// scored by [`tee_attack`]'s leakage estimators, with traffic
+    /// shaping and shielded-at-rest KV as knobs.
+    Attack,
 }
 
 impl Scenario {
@@ -75,6 +89,7 @@ impl Scenario {
             Scenario::Serve => "serve",
             Scenario::Des => "des",
             Scenario::Fleet => "fleet",
+            Scenario::Attack => "attack",
         }
     }
 
@@ -84,20 +99,75 @@ impl Scenario {
     }
 
     /// All scenarios, in presentation order.
-    pub fn all() -> [Scenario; 5] {
+    pub fn all() -> [Scenario; 6] {
         [
             Scenario::Train,
             Scenario::Cluster,
             Scenario::Serve,
             Scenario::Des,
             Scenario::Fleet,
+            Scenario::Attack,
         ]
     }
 }
 
-/// The optimization senses of the three objectives:
-/// `[throughput ↑, exposed transfer ↓, crypto-traffic overhead ↓]`.
-pub const SENSES: [Sense; 3] = [Sense::Maximize, Sense::Minimize, Sense::Minimize];
+/// One optimization objective of an [`ModeEval`]. The single source of
+/// truth for objective names, order, and senses: CLI usage, frontier
+/// table headers, [`SENSES`], and [`ModeEval::objectives`] all derive
+/// from it, so they cannot drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// End-to-end token throughput (maximize).
+    Throughput,
+    /// Exposed (non-overlapped) transfer / KV-migration time (minimize).
+    Exposed,
+    /// Crypto-traffic overhead as a fraction of the step or makespan
+    /// (minimize).
+    Crypto,
+    /// Bits per observed transfer a link-level adversary can extract
+    /// (minimize).
+    Leakage,
+}
+
+impl Objective {
+    /// Display label (report headers, CLI usage).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Objective::Throughput => "throughput",
+            Objective::Exposed => "exposed",
+            Objective::Crypto => "crypto",
+            Objective::Leakage => "leakage",
+        }
+    }
+
+    /// The optimization sense.
+    pub fn sense(&self) -> Sense {
+        match self {
+            Objective::Throughput => Sense::Maximize,
+            Objective::Exposed | Objective::Crypto | Objective::Leakage => Sense::Minimize,
+        }
+    }
+
+    /// All objectives, in [`ModeEval::objectives`] order.
+    pub fn all() -> [Objective; 4] {
+        [
+            Objective::Throughput,
+            Objective::Exposed,
+            Objective::Crypto,
+            Objective::Leakage,
+        ]
+    }
+}
+
+/// The optimization senses in [`Objective::all`] order:
+/// `[throughput ↑, exposed transfer ↓, crypto-traffic overhead ↓,
+/// leakage ↓]` (a unit test pins the correspondence).
+pub const SENSES: [Sense; 4] = [
+    Sense::Maximize,
+    Sense::Minimize,
+    Sense::Minimize,
+    Sense::Minimize,
+];
 
 /// One priced evaluation: a sampled hardware point under one mode.
 #[derive(Debug, Clone)]
@@ -113,16 +183,22 @@ pub struct ModeEval {
     /// Objective 3: crypto-traffic overhead as a fraction of the step or
     /// makespan (staging re-encryption + verify stalls + MAC traffic).
     pub crypto_frac: f64,
+    /// Objective 4: bits per observed transfer a link-level adversary
+    /// extracts from the run ([`tee_attack`]). Only the attack scenario
+    /// traces its runs and prices this; the other evaluators report
+    /// zero, which leaves their dominance relations untouched.
+    pub leakage_bits: f64,
 }
 
 impl ModeEval {
-    /// The objective vector in [`SENSES`] order (exposed time in
-    /// milliseconds).
+    /// The objective vector in [`Objective::all`] / [`SENSES`] order
+    /// (exposed time in milliseconds).
     pub fn objectives(&self) -> Vec<f64> {
         vec![
             self.throughput_tps,
             self.exposed.as_ms_f64(),
             self.crypto_frac,
+            self.leakage_bits,
         ]
     }
 }
@@ -225,6 +301,27 @@ pub fn space_for(scenario: Scenario, ctx: &RunContext) -> Space {
             ),
             Knob::numeric("load x", [0.5, 1.0, 2.0]),
             Knob::labeled("traffic", [("steady", 0.0), ("diurnal", 1.0)]),
+        ]),
+        Scenario::Attack => Space::new(vec![
+            model_knob(ctx),
+            // The adversary watches a loaded server: below the base
+            // rate the KV budget rarely spills and there is nothing on
+            // the wire to read.
+            Knob::numeric("load x", [1.0, 2.0, 4.0]),
+            Knob::labeled(
+                "shaping",
+                Shaping::all()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (s.label(), i as f64)),
+            ),
+            Knob::labeled(
+                "kv at rest",
+                KvShield::all()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (s.label(), i as f64)),
+            ),
         ]),
     }
 }
@@ -340,6 +437,7 @@ fn eval_train(ctx: &RunContext, space: &Space, point: &Point) -> Vec<ModeEval> {
                 exposed: step.comm_w + step.comm_g,
                 crypto_frac: crypto.as_secs_f64() / total.as_secs_f64()
                     + sys.mac_scheme().traffic_overhead(),
+                leakage_bits: 0.0,
             }
         })
         .collect()
@@ -398,6 +496,7 @@ fn eval_cluster(ctx: &RunContext, space: &Space, point: &Point) -> Vec<ModeEval>
                 exposed: step.comm_w + step.comm_g + step.comm_ar,
                 crypto_frac: crypto.as_secs_f64() / total.as_secs_f64()
                     + point_sys.mac_scheme().traffic_overhead(),
+                leakage_bits: 0.0,
             }
         })
         .collect()
@@ -452,6 +551,7 @@ fn eval_des(ctx: &RunContext, space: &Space, point: &Point) -> Vec<ModeEval> {
                 exposed: b.comm_w + b.comm_g + b.comm_ar,
                 crypto_frac: report.crypto.as_secs_f64() / total.as_secs_f64()
                     + mac.traffic_overhead(),
+                leakage_bits: 0.0,
             }
         })
         .collect()
@@ -508,6 +608,7 @@ fn eval_serve(ctx: &RunContext, space: &Space, point: &Point) -> Vec<ModeEval> {
                 throughput_tps: rep.goodput_tps(),
                 exposed: rep.kv_exposed_time,
                 crypto_frac: profile.mac.traffic_overhead() + kv_crypto / makespan,
+                leakage_bits: 0.0,
             }
         })
         .collect()
@@ -553,6 +654,83 @@ fn eval_fleet(ctx: &RunContext, space: &Space, point: &Point) -> Vec<ModeEval> {
                 throughput_tps: rep.goodput_tps(),
                 exposed: rep.handoff_exposed_time,
                 crypto_frac: profile.mac.traffic_overhead() + kv_crypto / makespan,
+                leakage_bits: 0.0,
+            }
+        })
+        .collect()
+}
+
+/// Prices one adversary point under every context mode. Each mode's
+/// serving run is traced into a *fresh, private* recording probe (the
+/// context probe is never consulted, so reports stay byte-identical
+/// with tracing on or off); the link-level view is derived from the
+/// snapshot, the shaping and at-rest knobs are applied, and the point
+/// comes back with both the residual leakage and the defense bill:
+/// padding time stretches the makespan and the exposure, the
+/// re-encrypt/verify pass lands in the crypto objective. The trace
+/// seed is a common-random-numbers sub-stream like the serving and
+/// fleet evaluators (stream 2).
+fn eval_attack(ctx: &RunContext, space: &Space, point: &Point) -> Vec<ModeEval> {
+    let model = model_at(ctx, space, point);
+    let rate = ctx.serve_rate_rps * space.value(point, 1);
+    let shaping = Shaping::all()[space.value(point, 2) as usize];
+    let shield = KvShield::all()[space.value(point, 3) as usize];
+    let trace_seed = SplitMix64::new(ctx.seed).split(2).next_u64();
+    let mut trace_cfg = TraceConfig::poisson(ctx.serve_requests, rate, trace_seed);
+    if ctx.fast {
+        // The reduced context trims conversations exactly like the
+        // registered serving artifacts do (see experiments::serve_setup).
+        trace_cfg.prompt_mean = 256;
+        trace_cfg.output_mean = 48;
+    }
+    // A tight KV budget (~500 tokens, the scheduler tests' spill-forcing
+    // idiom) keeps offload/fetch traffic on the wire, so the adversary
+    // has a channel to read once the load knob pushes past one.
+    let kv = tee_serve::KvSpec::of(&model);
+    let cfg = ServeConfig::for_model(&model, 2, trace_cfg.steady_tokens())
+        .with_kv_hbm_bytes(kv.bytes_per_token * 500)
+        .with_npu(ctx.cfg.npu.clone());
+    let trace = trace_cfg.generate();
+    ctx.modes
+        .iter()
+        .map(|&mode| {
+            let profile = serve_profile(mode);
+            let probe = SharedProbe::recording();
+            let rep = simulate_probed(&cfg, &model, &profile, &trace, &probe);
+            let snap = probe.snapshot().expect("freshly created recording probe");
+            let view = Observation::from_trace(&snap);
+            let shaped = shaping.apply(&view);
+            let traffic_bits = extractable_bits(&shaped.observation.features(MEASUREMENT_QUANTUM));
+            // The at-rest signal: spilled-blob sizes (wire occupancy as
+            // the size proxy), as the shield lets the adversary see them.
+            let at_rest: Vec<u64> = shield
+                .observed_sizes(
+                    &view
+                        .events()
+                        .iter()
+                        .map(|e| e.duration.as_ps())
+                        .collect::<Vec<_>>(),
+                )
+                .iter()
+                .map(|&s| size_bucket(s))
+                .collect();
+            let residency_bits = extractable_bits(&at_rest);
+            let shield_overhead = shield.overhead(
+                snap.metrics().get("serve.kv_offload_bytes"),
+                snap.metrics().get("serve.kv_fetch_bytes"),
+            );
+            let priced = rep.makespan + shaped.padding + shield_overhead;
+            let secs = priced.as_secs_f64().max(1e-12);
+            let slowdown = rep.makespan.as_secs_f64() / secs;
+            let kv_crypto = rep.kv_transfer_time.as_secs_f64()
+                * kv_crypto_share(profile.kv_protocol)
+                + shield_overhead.as_secs_f64();
+            ModeEval {
+                mode,
+                throughput_tps: rep.goodput_tps() * slowdown,
+                exposed: rep.kv_exposed_time + shaped.padding,
+                crypto_frac: profile.mac.traffic_overhead() + kv_crypto / secs,
+                leakage_bits: traffic_bits + residency_bits,
             }
         })
         .collect()
@@ -605,6 +783,7 @@ fn run_points(
         Scenario::Serve => eval_serve(ctx, &space, point),
         Scenario::Des => eval_des(ctx, &space, point),
         Scenario::Fleet => eval_fleet(ctx, &space, point),
+        Scenario::Attack => eval_attack(ctx, &space, point),
     });
     ExploreRun {
         scenario,
@@ -631,8 +810,22 @@ fn tps(v: f64) -> String {
     format!("{v:.0} tok/s")
 }
 
+/// Formats a leakage objective in bits.
+fn bits(v: f64) -> String {
+    format!("{v:.2} b")
+}
+
+/// Frontier table header, derived from [`Objective::all`] so report
+/// columns cannot drift from the objective vector.
+fn frontier_header() -> Vec<String> {
+    std::iter::once("mode".to_owned())
+        .chain(Objective::all().iter().map(|o| o.label().to_owned()))
+        .chain(std::iter::once("configuration".to_owned()))
+        .collect()
+}
+
 /// Runs the `explore_pareto` artifact for `scenario`: the sampled sweep,
-/// its three-objective Pareto frontier, per-mode frontier presence (with
+/// its four-objective Pareto frontier, per-mode frontier presence (with
 /// an explanatory note for any mode that is never non-dominated), and
 /// the SGX+MGX-vs-TensorTEE crossover analysis.
 pub fn explore_pareto_for(scenario: Scenario, ctx: &RunContext) -> (ExploreRun, Report) {
@@ -642,15 +835,14 @@ pub fn explore_pareto_for(scenario: Scenario, ctx: &RunContext) -> (ExploreRun, 
     let frontier = pareto_frontier(&objs, &SENSES);
 
     let mut report = report_for("explore_pareto", scenario);
-    let mut table = Table::new(["mode", "throughput", "exposed", "crypto", "configuration"])
-        .captioned(format!(
-            "Pareto frontier — {} of {} evaluations non-dominated ({} points x {} modes, seed {})",
-            frontier.len(),
-            flat.len(),
-            run.points.len(),
-            ctx.modes.len(),
-            ctx.seed,
-        ));
+    let mut table = Table::new(frontier_header()).captioned(format!(
+        "Pareto frontier — {} of {} evaluations non-dominated ({} points x {} modes, seed {})",
+        frontier.len(),
+        flat.len(),
+        run.points.len(),
+        ctx.modes.len(),
+        ctx.seed,
+    ));
     for &f in &frontier {
         let (pi, e) = &flat[f];
         table.row([
@@ -658,6 +850,7 @@ pub fn explore_pareto_for(scenario: Scenario, ctx: &RunContext) -> (ExploreRun, 
             tps(e.throughput_tps),
             e.exposed.to_string(),
             pct(e.crypto_frac),
+            bits(e.leakage_bits),
             run.space.describe(&run.points[*pi]),
         ]);
     }
@@ -698,7 +891,7 @@ pub fn explore_pareto_for(scenario: Scenario, ctx: &RunContext) -> (ExploreRun, 
                 "{} is never non-dominated: each of its {} evaluations is Pareto-dominated \
                  (most often by {}), i.e. for every one of its sampled configurations, some \
                  other evaluation in the sweep matches or beats its throughput while exposing \
-                 no more transfer time and no more crypto traffic.",
+                 no more transfer time, no more crypto traffic, and no more leakage.",
                 mode.label(),
                 dominated,
                 top
@@ -707,8 +900,10 @@ pub fn explore_pareto_for(scenario: Scenario, ctx: &RunContext) -> (ExploreRun, 
     }
 
     // The frontier *among the secure modes*: with the non-secure
-    // reference excluded (it weakly upper-bounds all three objectives at
-    // matched hardware, so it tends to absorb the global frontier), the
+    // reference excluded (it weakly upper-bounds the performance
+    // objectives at matched hardware — encryption hides contents, not
+    // shape, so leakage does not separate it either — and it tends to
+    // absorb the global frontier), the
     // table shows which protected configurations are worth building.
     let secure: Vec<usize> = (0..flat.len())
         .filter(|&f| flat[f].1.mode != SecureMode::NonSecure)
@@ -716,12 +911,11 @@ pub fn explore_pareto_for(scenario: Scenario, ctx: &RunContext) -> (ExploreRun, 
     if !secure.is_empty() {
         let secure_objs: Vec<Vec<f64>> = secure.iter().map(|&f| objs[f].clone()).collect();
         let secure_frontier = pareto_frontier(&secure_objs, &SENSES);
-        let mut table = Table::new(["mode", "throughput", "exposed", "crypto", "configuration"])
-            .captioned(format!(
-                "Secure-modes frontier — {} of {} protected evaluations non-dominated",
-                secure_frontier.len(),
-                secure.len(),
-            ));
+        let mut table = Table::new(frontier_header()).captioned(format!(
+            "Secure-modes frontier — {} of {} protected evaluations non-dominated",
+            secure_frontier.len(),
+            secure.len(),
+        ));
         for &sf in &secure_frontier {
             let (pi, e) = &flat[secure[sf]];
             table.row([
@@ -729,6 +923,7 @@ pub fn explore_pareto_for(scenario: Scenario, ctx: &RunContext) -> (ExploreRun, 
                 tps(e.throughput_tps),
                 e.exposed.to_string(),
                 pct(e.crypto_frac),
+                bits(e.leakage_bits),
                 run.space.describe(&run.points[*pi]),
             ]);
         }
@@ -882,6 +1077,13 @@ mod tests {
         assert_eq!(fleet.knobs().len(), 5);
         assert_eq!(fleet.knobs()[2].name, "placement");
         assert_eq!(fleet.knobs()[2].len(), 3);
+        let attack = space_for(Scenario::Attack, &c);
+        assert_eq!(attack.knobs().len(), 4);
+        assert_eq!(attack.knobs()[2].name, "shaping");
+        assert_eq!(attack.knobs()[2].len(), Shaping::all().len());
+        assert_eq!(attack.knobs()[3].name, "kv at rest");
+        assert_eq!(attack.knobs()[3].len(), KvShield::all().len());
+        assert_eq!(Scenario::parse("attack"), Some(Scenario::Attack));
         assert_eq!(Scenario::parse("fleet"), Some(Scenario::Fleet));
         assert_eq!(Scenario::parse("des"), Some(Scenario::Des));
         assert_eq!(Scenario::parse("cluster"), Some(Scenario::Cluster));
@@ -911,6 +1113,49 @@ mod tests {
         let frontier = run.frontier();
         assert!(!frontier.is_empty());
         assert!(frontier.len() <= run.flat().len());
+    }
+
+    #[test]
+    fn objectives_and_senses_cannot_drift() {
+        assert_eq!(SENSES.len(), Objective::all().len());
+        for (i, o) in Objective::all().iter().enumerate() {
+            assert_eq!(SENSES[i], o.sense(), "{}", o.label());
+        }
+        let eval = ModeEval {
+            mode: SecureMode::NonSecure,
+            throughput_tps: 1.0,
+            exposed: Time::ZERO,
+            crypto_frac: 0.0,
+            leakage_bits: 0.0,
+        };
+        assert_eq!(eval.objectives().len(), SENSES.len());
+        let labels: Vec<&str> = Objective::all().iter().map(|o| o.label()).collect();
+        assert_eq!(labels, vec!["throughput", "exposed", "crypto", "leakage"]);
+        // The frontier header embeds the objective labels verbatim.
+        let header = frontier_header();
+        assert_eq!(header.len(), labels.len() + 2);
+        assert_eq!(&header[1..header.len() - 1], labels.as_slice());
+    }
+
+    #[test]
+    fn attack_run_prices_leakage_and_defenses() {
+        let mut c = ctx();
+        // One model x 3 loads x 3 shapings x 2 shields = the full grid.
+        c.explore_points = 18;
+        let run = run_scenario(Scenario::Attack, &c);
+        assert_eq!(run.points.len(), 18);
+        let mut leaked = 0usize;
+        for evals in &run.evals {
+            assert_eq!(evals.len(), c.modes.len());
+            for e in evals {
+                assert!(e.throughput_tps > 0.0);
+                assert!(e.leakage_bits >= 0.0);
+                if e.leakage_bits > 0.0 {
+                    leaked += 1;
+                }
+            }
+        }
+        assert!(leaked > 0, "some sampled point must leak");
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //! drives the same registry from the command line.
 
 pub mod artifact;
+pub mod attack;
 pub mod config;
 pub mod des_cluster;
 pub mod experiments;

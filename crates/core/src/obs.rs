@@ -248,7 +248,7 @@ pub fn emit_step_phases(probe: &SharedProbe, mode: crate::SecureMode, step: &Ste
 /// Replays a recorded trace into another probe (used to surface the
 /// rollup runs' events in the caller's recording, e.g. `tensortee trace
 /// obs_utilization`).
-fn replay(snapshot: &TraceProbe, into: &SharedProbe) {
+pub(crate) fn replay(snapshot: &TraceProbe, into: &SharedProbe) {
     if !into.enabled() {
         return;
     }

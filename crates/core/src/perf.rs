@@ -17,10 +17,12 @@
 
 use crate::artifact::{registry, RunContext};
 use crate::des_cluster::{DesClusterConfig, DesClusterSystem};
+use crate::experiments::fleet_setup;
 use crate::explore::{run_scenario, Scenario};
 use crate::json::Json;
 use crate::report::Table;
 use std::time::Instant;
+use tee_attack::{extractable_bits, link_sessions, Observation, Shaping, MEASUREMENT_QUANTUM};
 use tee_sim::probe::SharedProbe;
 use tee_sim::{EventQueue, HeapQueue, SplitMix64, Time};
 use tee_workloads::StepSchedule;
@@ -109,6 +111,22 @@ pub struct ProbeTiming {
     pub median_ms: f64,
 }
 
+/// Wall-clock timing of one adversary-analysis stage (`tee-attack`) on
+/// a fixed recorded trace: the serving/fleet simulations run once,
+/// untimed; the stages time what the adversary pays to turn the
+/// recording into bits.
+#[derive(Debug, Clone)]
+pub struct AttackTiming {
+    /// Analysis stage (`observe` / `traffic` / `residency`).
+    pub stage: &'static str,
+    /// Items the stage processes per repetition (probe events, link
+    /// features, spilled objects); deterministic for a fixed context,
+    /// so this is a structural field.
+    pub events: u64,
+    /// Median wall time, milliseconds.
+    pub median_ms: f64,
+}
+
 /// One measured point on the repo's perf trajectory.
 #[derive(Debug, Clone)]
 pub struct BenchTrajectory {
@@ -136,6 +154,9 @@ pub struct BenchTrajectory {
     /// Probe-overhead microbench: the DES cluster step with observability
     /// off vs. recording, same schedule.
     pub probes: Vec<ProbeTiming>,
+    /// Adversary-analysis microbench: the tee-attack stages on a fixed
+    /// recorded trace.
+    pub attacks: Vec<AttackTiming>,
 }
 
 /// Events per queue-microbench repetition: the acceptance bar for the
@@ -268,6 +289,55 @@ fn measure_probes(ctx: &RunContext, opts: &BenchOptions) -> Vec<ProbeTiming> {
     out
 }
 
+/// Times the tee-attack analysis stages on a fixed recorded trace: one
+/// serving run of the primary model (the `attack_defended` setup) and
+/// one fleet session trace, simulated/generated once outside the
+/// timers, then each adversary stage repeated on the frozen inputs.
+fn measure_attacks(ctx: &RunContext, opts: &BenchOptions) -> Vec<AttackTiming> {
+    let model = ctx.primary_model();
+    let (_, test_seed) = crate::attack::attack_seeds(ctx);
+    let (_, snap) = crate::attack::traced_serve(ctx, &model, test_seed);
+    let view = Observation::from_trace(&snap);
+    let features = view.features(MEASUREMENT_QUANTUM);
+    let (fleet_model, _, trace_cfg) = fleet_setup(ctx);
+    let trace = trace_cfg.generate();
+    let (sessions, sizes) = crate::attack::spilled_objects(&fleet_model, &trace);
+    let samples: Vec<(u64, u64)> = sessions.into_iter().zip(sizes).collect();
+
+    let run_observe = || {
+        std::hint::black_box(Observation::from_trace(&snap));
+    };
+    let run_traffic = || {
+        let bits = extractable_bits(&features);
+        let shaped = Shaping::Padded.apply(&view);
+        std::hint::black_box((bits, shaped.padding));
+    };
+    let run_residency = || {
+        std::hint::black_box(link_sessions(&samples));
+    };
+    let mut out = Vec::new();
+    for (stage, events, f) in [
+        (
+            "observe",
+            snap.events().len() as u64,
+            &run_observe as &dyn Fn(),
+        ),
+        ("traffic", features.len() as u64, &run_traffic),
+        ("residency", samples.len() as u64, &run_residency),
+    ] {
+        for _ in 0..opts.warmup {
+            f();
+        }
+        let timed = time_repeats(opts.repeats, f);
+        out.push(AttackTiming {
+            stage,
+            events,
+            median_ms: median(&timed),
+        });
+    }
+    out
+}
+
 /// Times `repeats` invocations of `f`, returning each wall time in
 /// milliseconds.
 fn time_repeats(repeats: u32, mut f: impl FnMut()) -> Vec<f64> {
@@ -371,6 +441,10 @@ impl BenchTrajectory {
             eprintln!("bench probe overhead (null vs trace) ...");
         }
         let probes = measure_probes(ctx, opts);
+        if opts.progress {
+            eprintln!("bench adversary analysis (tee-attack stages) ...");
+        }
+        let attacks = measure_attacks(ctx, opts);
         BenchTrajectory {
             rev: detect_rev(),
             profile: if ctx.fast { "fast" } else { "full" },
@@ -383,6 +457,7 @@ impl BenchTrajectory {
             sweeps,
             queues,
             probes,
+            attacks,
         }
     }
 
@@ -469,6 +544,21 @@ impl BenchTrajectory {
                         .collect(),
                 ),
             ),
+            (
+                "attacks",
+                Json::Array(
+                    self.attacks
+                        .iter()
+                        .map(|a| {
+                            Json::object([
+                                ("stage", Json::str(a.stage)),
+                                ("events", Json::Int(a.events as i64)),
+                                ("median_ms", Json::Float(a.median_ms)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -529,6 +619,19 @@ impl BenchTrajectory {
             }
             out.push_str(&probes.to_markdown());
         }
+        if !self.attacks.is_empty() {
+            out.push('\n');
+            let mut attacks = Table::new(["stage", "events", "median"])
+                .captioned("Adversary analysis (fixed recorded trace)");
+            for a in &self.attacks {
+                attacks.row([
+                    a.stage.to_string(),
+                    a.events.to_string(),
+                    format!("{:.1} ms", a.median_ms),
+                ]);
+            }
+            out.push_str(&attacks.to_markdown());
+        }
         out
     }
 }
@@ -566,6 +669,7 @@ mod tests {
             sweeps: vec![],
             queues: vec![],
             probes: vec![],
+            attacks: vec![],
         };
         assert_eq!(t.file_name(), "BENCH_abc123.json");
         let json = t.to_json().to_string();
@@ -618,6 +722,25 @@ mod tests {
         assert_eq!(timings[0].events, 0, "null probe must record nothing");
         assert!(timings[1].events > 0, "trace probe recorded nothing");
         for t in &timings {
+            assert!(t.median_ms >= 0.0 && t.median_ms.is_finite());
+        }
+    }
+
+    #[test]
+    fn attack_bench_times_each_stage_on_frozen_inputs() {
+        let ctx = RunContext::fast();
+        let opts = BenchOptions {
+            repeats: 1,
+            warmup: 0,
+            progress: false,
+        };
+        let timings = measure_attacks(&ctx, &opts);
+        assert_eq!(timings.len(), 3);
+        assert_eq!(timings[0].stage, "observe");
+        assert_eq!(timings[1].stage, "traffic");
+        assert_eq!(timings[2].stage, "residency");
+        for t in &timings {
+            assert!(t.events > 0, "{} analyzed nothing", t.stage);
             assert!(t.median_ms >= 0.0 && t.median_ms.is_finite());
         }
     }

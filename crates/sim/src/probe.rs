@@ -142,6 +142,18 @@ impl ProbeEvent {
             | ProbeEvent::Gauge { at, .. } => *at,
         }
     }
+
+    /// The event's label (`None` for `End`, which is anonymous: it
+    /// closes the innermost open interval on its track).
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            ProbeEvent::Span { name, .. }
+            | ProbeEvent::Begin { name, .. }
+            | ProbeEvent::Instant { name, .. }
+            | ProbeEvent::Gauge { name, .. } => Some(name),
+            ProbeEvent::End { .. } => None,
+        }
+    }
 }
 
 /// Named monotonic counters with order-independent merge.
@@ -387,6 +399,27 @@ mod tests {
         let snap = a.snapshot().expect("recording");
         assert_eq!(snap.events().len(), 1);
         assert_eq!(snap.metrics().get("fleet.migrations"), 1);
+    }
+
+    #[test]
+    fn event_accessors_expose_track_name_and_time() {
+        let mut p = TraceProbe::new();
+        p.span("link", "kv_transfer", Time::from_ns(1), Time::from_ns(2));
+        p.span_begin("NPU0", "decode", Time::from_ns(3));
+        p.span_end("NPU0", Time::from_ns(4));
+        p.instant("CPU", "kv_fetch", Time::from_ns(5));
+        p.gauge("link", "wire", Time::from_ns(6), 9);
+        let names: Vec<Option<&str>> = p.events().iter().map(|e| e.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                Some("kv_transfer"),
+                Some("decode"),
+                None,
+                Some("kv_fetch"),
+                Some("wire"),
+            ]
+        );
     }
 
     #[test]

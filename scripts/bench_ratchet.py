@@ -111,6 +111,13 @@ def main():
                 "probe", "probe", base.get("probes", []), fresh.get("probes", []),
                 "median_ms", args.tolerance, args.slack_ms,
             )
+        ) + list(
+            # The adversary-analysis microbench: tee-attack stages on a
+            # fixed recorded trace.
+            compare(
+                "attack", "stage", base.get("attacks", []), fresh.get("attacks", []),
+                "median_ms", args.tolerance, args.slack_ms,
+            )
         )
         for failed, message in checks:
             print(message)
@@ -126,6 +133,7 @@ def main():
     print(
         f"ratchet OK: {len(base['artifacts'])} artifacts + {len(base['sweeps'])} sweeps "
         f"+ {len(base.get('queues', []))} queues + {len(base.get('probes', []))} probes "
+        f"+ {len(base.get('attacks', []))} attack stages "
         f"within +{args.tolerance:.0%} of {base.get('rev', '?')}"
     )
     return 0

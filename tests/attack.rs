@@ -1,0 +1,161 @@
+//! Adversary & side-channel integration suite (tee-attack + the
+//! `attack_*` artifacts).
+//!
+//! The load-bearing invariants:
+//!
+//! * **estimator properties** — the leakage estimators the defense
+//!   claims rest on are non-negative, bounded by `log2(#classes)`,
+//!   exactly zero on constant traffic, and bitwise deterministic
+//!   (thread-count invariance of the `attack` explore scenario is
+//!   pinned end-to-end in tests/explore.rs),
+//! * **defenses monotonically reduce leakage** — on *any* observation,
+//!   not just simulated ones,
+//! * **the acceptance ordering** — `attack_defended` reports strictly
+//!   ordered leakage (unshaped > padded > constant-rate = 0; plain
+//!   spill > shielded ≈ 0) with every defense's cost priced in the
+//!   same report.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tee_attack::{
+    extractable_bits, mutual_information_bits, KvShield, LinkEvent, Observation, Shaping,
+    MEASUREMENT_QUANTUM, SHIELD_SLOT_BYTES,
+};
+use tee_sim::Time;
+use tensortee::artifact::{find, RunContext};
+
+#[test]
+fn defended_artifact_orders_leakage_and_prices_defenses() {
+    let ctx = RunContext::fast();
+    let report = find("attack_defended").unwrap().run(&ctx);
+    let unshaped = report.metric_value("traffic_bits_unshaped").unwrap();
+    let padded = report.metric_value("traffic_bits_padded").unwrap();
+    let flat = report.metric_value("traffic_bits_constant_rate").unwrap();
+    assert!(
+        unshaped > padded && padded > flat,
+        "leakage must order strictly: {unshaped} > {padded} > {flat}"
+    );
+    assert_eq!(flat, 0.0, "constant-rate must leak exactly nothing");
+    let pad_ms = report.metric_value("padding_ms_padded").unwrap();
+    let flat_ms = report.metric_value("padding_ms_constant_rate").unwrap();
+    assert!(
+        flat_ms > pad_ms && pad_ms > 0.0,
+        "stronger shaping must cost more padding: {flat_ms} > {pad_ms} > 0"
+    );
+    let plain = report.metric_value("residency_bits_plain_spill").unwrap();
+    let shielded = report.metric_value("residency_bits_shielded").unwrap();
+    assert!(
+        plain > shielded && shielded.abs() < 1e-9,
+        "shield must blind the residency adversary: {plain} > {shielded} ~ 0"
+    );
+    assert_eq!(
+        report.metric_value("shield_overhead_ms_plain_spill"),
+        Some(0.0)
+    );
+    assert!(report.metric_value("shield_overhead_ms_shielded").unwrap() > 0.0);
+}
+
+#[test]
+fn traffic_and_residency_artifacts_expose_their_channels() {
+    let ctx = RunContext::fast();
+    let traffic = find("attack_traffic").unwrap().run(&ctx);
+    let models = traffic.metric_value("models").unwrap();
+    assert!(traffic.metric_value("classifier_accuracy").unwrap() > 1.0 / models);
+    let mi = traffic.metric_value("mutual_information_bits").unwrap();
+    assert!(mi >= 0.0 && mi <= models.log2() + 1e-9);
+
+    let residency = find("attack_kv_residency").unwrap().run(&ctx);
+    assert!(residency.metric_value("fleet_migrations").unwrap() > 0.0);
+    let plain = residency.metric_value("residency_bits_plain").unwrap();
+    let shielded = residency.metric_value("residency_bits_shielded").unwrap();
+    assert!(plain > shielded && shielded.abs() < 1e-9);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::ci())]
+
+    /// The plug-in MI estimator is non-negative and bounded by the
+    /// entropy of the class marginal, hence by `log2(#classes)`.
+    #[test]
+    fn mi_is_non_negative_and_bounded_by_class_count(
+        samples in vec((0u64..6, 0u64..32), 1..300),
+    ) {
+        let bits = mutual_information_bits(&samples);
+        prop_assert!(bits >= 0.0);
+        let mut classes: Vec<u64> = samples.iter().map(|&(c, _)| c).collect();
+        classes.sort_unstable();
+        classes.dedup();
+        prop_assert!(bits <= (classes.len() as f64).log2() + 1e-9);
+    }
+
+    /// A constant feature — fully shaped traffic — yields exactly zero
+    /// bits, whatever the class labels behind it.
+    #[test]
+    fn constant_traffic_yields_exactly_zero_bits(
+        classes in vec(0u64..16, 1..200),
+        feature in any::<u64>(),
+    ) {
+        let samples: Vec<(u64, u64)> = classes.iter().map(|&c| (c, feature)).collect();
+        prop_assert_eq!(mutual_information_bits(&samples), 0.0);
+        prop_assert_eq!(extractable_bits(&vec![feature; classes.len()]), 0.0);
+    }
+
+    /// Both estimators are pure functions: repeated evaluation is
+    /// bitwise identical (with the executor contract, this is what the
+    /// `--threads` byte-identity promise reduces to).
+    #[test]
+    fn estimators_are_bitwise_deterministic(
+        samples in vec((0u64..6, 0u64..32), 1..300),
+    ) {
+        let features: Vec<u64> = samples.iter().map(|&(_, f)| f).collect();
+        prop_assert_eq!(
+            mutual_information_bits(&samples).to_bits(),
+            mutual_information_bits(&samples).to_bits()
+        );
+        prop_assert_eq!(
+            extractable_bits(&features).to_bits(),
+            extractable_bits(&features).to_bits()
+        );
+    }
+
+    /// Shaping can only reduce what the wire gives away: padding never
+    /// raises the observed entropy, and constant-rate erases it — on
+    /// any observation, not just simulated ones.
+    #[test]
+    fn shaping_monotonically_reduces_entropy(
+        durations in vec(1u64..10_000_000, 0..64),
+    ) {
+        let events: Vec<LinkEvent> = durations
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| LinkEvent {
+                at: Time::from_ns(i as u64 * 20_000_000),
+                duration: Time::from_ns(d),
+            })
+            .collect();
+        let view = Observation::from_events(events);
+        let raw = extractable_bits(&view.features(MEASUREMENT_QUANTUM));
+        let padded = Shaping::Padded.apply(&view);
+        let flat = Shaping::ConstantRate.apply(&view);
+        prop_assert!(
+            extractable_bits(&padded.observation.features(MEASUREMENT_QUANTUM)) <= raw + 1e-9
+        );
+        prop_assert_eq!(
+            extractable_bits(&flat.observation.features(MEASUREMENT_QUANTUM)),
+            0.0
+        );
+    }
+
+    /// The at-rest shield only pads — never shrinks — and every
+    /// shielded object is a whole number of shield slots, so sizes
+    /// cannot distinguish objects within a slot count.
+    #[test]
+    fn shield_only_pads_and_quantizes(sizes in vec(0u64..(1u64 << 40), 0..64)) {
+        let observed = KvShield::Shielded.observed_sizes(&sizes);
+        prop_assert_eq!(observed.len(), sizes.len());
+        for (&s, &o) in sizes.iter().zip(&observed) {
+            prop_assert!(o >= s);
+            prop_assert_eq!(o % SHIELD_SLOT_BYTES, 0);
+        }
+    }
+}

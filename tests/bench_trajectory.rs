@@ -2,7 +2,7 @@
 //! contract):
 //!
 //! * the JSON shape is well-formed per the hand-rolled `tensortee::json`
-//!   validator and carries one entry per registry artifact (floor ≥ 25),
+//!   validator and carries one entry per registry artifact (floor ≥ 28),
 //! * timings are the *only* floats — masking every `Json::Float` makes
 //!   two independent measurements byte-identical (what lets the CI
 //!   ratchet compare structure strictly and timings with a tolerance).
@@ -50,15 +50,15 @@ fn trajectory_covers_the_registry_and_differs_only_in_timings() {
     let first = BenchTrajectory::measure(&ctx, &opts);
     let second = BenchTrajectory::measure(&ctx, &opts);
 
-    // One entry per registry artifact, in registry order, floor ≥ 25.
-    assert!(first.artifacts.len() >= 25, "{}", first.artifacts.len());
+    // One entry per registry artifact, in registry order, floor ≥ 28.
+    assert!(first.artifacts.len() >= 28, "{}", first.artifacts.len());
     assert_eq!(first.artifacts.len(), registry().len());
     for (timing, artifact) in first.artifacts.iter().zip(registry()) {
         assert_eq!(timing.id, artifact.id);
         assert!(timing.min_ms <= timing.median_ms && timing.median_ms <= timing.max_ms);
     }
-    // All five explore scenarios, each priced over the context budget.
-    assert_eq!(first.sweeps.len(), 5);
+    // All six explore scenarios, each priced over the context budget.
+    assert_eq!(first.sweeps.len(), 6);
     for sweep in &first.sweeps {
         assert_eq!(
             sweep.points, ctx.explore_points as usize,
@@ -82,6 +82,14 @@ fn trajectory_covers_the_registry_and_differs_only_in_timings() {
     assert_eq!(probes, ["null", "trace"]);
     assert_eq!(first.probes[0].events, 0);
     assert!(first.probes[1].events > 0);
+    // The adversary-analysis microbench: the tee-attack stages, each
+    // fed a non-empty frozen input.
+    let attacks: Vec<&str> = first.attacks.iter().map(|a| a.stage).collect();
+    assert_eq!(attacks, ["observe", "traffic", "residency"]);
+    for a in &first.attacks {
+        assert!(a.events > 0, "{}: nothing to analyze", a.stage);
+        assert!(a.median_ms >= 0.0 && a.median_ms.is_finite(), "{}", a.stage);
+    }
 
     // Well-formed per the hand-rolled validator, schema-tagged.
     let json = first.to_json();

@@ -10,8 +10,9 @@
 //!   dominated by any sampled point, and every mode either appears on
 //!   the frontier or the report says why it never does (the acceptance
 //!   shape of the artifact),
-//! * **every scenario prices** — train, cluster, serve and des sweeps
-//!   all run under the reduced context and stay deterministic.
+//! * **every scenario prices** — train, cluster, serve, des, fleet and
+//!   attack sweeps all run under the reduced context and stay
+//!   deterministic.
 
 use tee_explore::dominates;
 use tensortee::artifact::{find, RunContext};
@@ -31,7 +32,12 @@ fn thin() -> RunContext {
 
 #[test]
 fn reports_are_byte_identical_across_worker_thread_counts() {
-    for scenario in [Scenario::Train, Scenario::Serve, Scenario::Des] {
+    for scenario in [
+        Scenario::Train,
+        Scenario::Serve,
+        Scenario::Des,
+        Scenario::Attack,
+    ] {
         let one = thin().with_worker_threads(1);
         let four = thin().with_worker_threads(4);
         let (_, report_one) = explore_pareto_for(scenario, &one);

@@ -10,7 +10,7 @@ use tensortee::json::{is_well_formed, Json};
 #[test]
 fn ids_unique_and_registry_complete() {
     let ids: Vec<&str> = registry().iter().map(|a| a.id).collect();
-    assert!(ids.len() >= 25, "registry shrank: {ids:?}");
+    assert!(ids.len() >= 28, "registry shrank: {ids:?}");
     let mut sorted = ids.clone();
     sorted.sort_unstable();
     sorted.dedup();
@@ -104,4 +104,7 @@ artifact_invariants! {
     fleet_handoff_fast_and_deterministic => "fleet_handoff",
     explore_pareto_fast_and_deterministic => "explore_pareto",
     explore_sensitivity_fast_and_deterministic => "explore_sensitivity",
+    attack_traffic_fast_and_deterministic => "attack_traffic",
+    attack_kv_residency_fast_and_deterministic => "attack_kv_residency",
+    attack_defended_fast_and_deterministic => "attack_defended",
 }
